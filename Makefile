@@ -1,0 +1,51 @@
+# positres — build/test/reproduce targets.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench report report-paper fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the heaviest exhaustive substrate checks.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (quick budget).
+report:
+	$(GO) run ./cmd/positreport -fig all
+
+# Full scale: the paper's 313 trials per bit over 2M-element fields.
+report-paper:
+	$(GO) run ./cmd/positreport -fig all -budget paper
+
+# Brief fuzz pass over the posit substrate invariants.
+fuzz:
+	$(GO) test -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 30s ./internal/posit/
+	$(GO) test -fuzz FuzzDecodersAgree -fuzztime 30s ./internal/posit/
+	$(GO) test -fuzz FuzzAddAgainstRat -fuzztime 30s ./internal/posit/
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/posit/
+	$(GO) test -fuzz FuzzQuireFMA -fuzztime 30s ./internal/posit/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/regime_expansion
+	$(GO) run ./examples/sign_flip
+	$(GO) run ./examples/accuracy_profile
+	$(GO) run ./examples/campaign_mini
+	$(GO) run ./examples/solver_fault
+	$(GO) run ./examples/ml_inference
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,189 @@
+// Command positcampaign runs the paper's fault-injection campaign:
+// for each selected (field, format) pair it injects single-bit flips
+// at every bit position and logs per-trial error metrics as CSV
+// (paper §4, Fig. 8).
+//
+// Usage:
+//
+//	positcampaign -field Nyx/temperature -formats posit32,ieee32 -out logs/
+//	positcampaign -field all -trials 313 -n 2000000 -out logs/
+//	positcampaign -field HACC/vx -data vx.f32 -formats posit32 -out logs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+	"positres/internal/textplot"
+)
+
+func main() {
+	var (
+		fieldFlag = flag.String("field", "", "field key (Dataset/Name), or 'all'")
+		dataFlag  = flag.String("data", "", "optional raw .f32 file to inject into (instead of synthetic data)")
+		fmtsFlag  = flag.String("formats", "posit32,ieee32", "comma-separated formats: "+strings.Join(numfmt.Names(), ", "))
+		trials    = flag.Int("trials", 313, "trials per bit position (paper: 313)")
+		n         = flag.Int("n", 2_000_000, "synthetic elements per field")
+		seed      = flag.Uint64("seed", 1, "campaign seed (reproducible)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		outDir    = flag.String("out", "", "directory for per-(field,format) trial CSVs")
+		keepZeros = flag.Bool("keep-zeros", false, "allow zero-valued elements to be selected")
+	)
+	flag.Parse()
+
+	if *fieldFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var fields []sdrbench.Field
+	if *fieldFlag == "all" {
+		fields = sdrbench.Fields()
+	} else {
+		f, err := sdrbench.Lookup(*fieldFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fields = []sdrbench.Field{f}
+	}
+
+	var codecs []numfmt.Codec
+	for _, name := range strings.Split(*fmtsFlag, ",") {
+		c, err := numfmt.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		codecs = append(codecs, c)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TrialsPerBit = *trials
+	cfg.Workers = *workers
+	cfg.SkipZeros = !*keepZeros
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *dataFlag != "" {
+		// Explicit data file: run the selected fields' campaigns over
+		// the provided array.
+		raw, err := sdrbench.ReadRawFile(*dataFlag)
+		if err != nil {
+			fatal(err)
+		}
+		data := sdrbench.ToFloat64(raw)
+		for _, f := range fields {
+			for _, codec := range codecs {
+				start := time.Now()
+				res, err := core.Run(cfg, codec, f.Key(), data)
+				if err != nil {
+					fatal(err)
+				}
+				report(res, time.Since(start), *outDir)
+			}
+		}
+		return
+	}
+
+	// Synthetic data: schedule all (field, format) campaigns on a
+	// parallel job pool (the paper's per-field cluster parallelism).
+	jobs := make([]core.MatrixJob, 0, len(fields)*len(codecs))
+	for _, f := range fields {
+		for _, codec := range codecs {
+			jobs = append(jobs, core.MatrixJob{Field: f, Codec: codec, N: *n, Seed: *seed})
+		}
+	}
+	start := time.Now()
+	results, err := core.RunMatrix(cfg, jobs, 0)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	for _, res := range results {
+		report(res, elapsed/time.Duration(len(results)), *outDir)
+	}
+	fmt.Printf("total: %d campaigns, %v\n", len(results), elapsed.Round(time.Millisecond))
+}
+
+func report(res *core.Result, elapsed time.Duration, outDir string) {
+	fmt.Printf("== %s / %s: %d trials in ~%v\n", res.Field, res.Codec, len(res.Trials), elapsed.Round(time.Millisecond))
+	printSummary(res)
+	if outDir == "" {
+		return
+	}
+	name := fmt.Sprintf("%s_%s.csv", strings.ReplaceAll(res.Field, "/", "_"), res.Codec)
+	path := filepath.Join(outDir, name)
+	out, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.WriteTrialsCSV(out, res.Trials); err != nil {
+		out.Close()
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("   log: %s\n", path)
+}
+
+func printSummary(res *core.Result) {
+	t := &textplot.Table{Header: []string{"bits", "mean rel err", "median rel err", "max rel err", "catastrophic"}}
+	aggs := core.AggregateByBit(res.Trials)
+	// Condense to field-level rows: group aggregate bits into quarters.
+	width := len(aggs)
+	quarter := (width + 3) / 4
+	for q := 0; q < 4; q++ {
+		lo, hi := q*quarter, (q+1)*quarter
+		if hi > width {
+			hi = width
+		}
+		if lo >= hi {
+			continue
+		}
+		var mean, max float64
+		var cat, cnt int
+		var medians []float64
+		for _, a := range aggs[lo:hi] {
+			if !isBad(a.MeanRelErr) {
+				mean += a.MeanRelErr
+				cnt++
+			}
+			if !isBad(a.MaxRelErr) && a.MaxRelErr > max {
+				max = a.MaxRelErr
+			}
+			if !isBad(a.MedianRelErr) {
+				medians = append(medians, a.MedianRelErr)
+			}
+			cat += a.Catastrophic
+		}
+		med := 0.0
+		if len(medians) > 0 {
+			med = medians[len(medians)/2]
+		}
+		if cnt > 0 {
+			mean /= float64(cnt)
+		}
+		t.AddRow(fmt.Sprintf("%d-%d", aggs[lo].Bit, aggs[hi-1].Bit),
+			fmt.Sprintf("%.3g", mean), fmt.Sprintf("%.3g", med),
+			fmt.Sprintf("%.3g", max), fmt.Sprintf("%d", cat))
+	}
+	fmt.Print(t.Render())
+}
+
+func isBad(v float64) bool { return v != v || v > 1e308 || v < -1e308 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "positcampaign:", err)
+	os.Exit(1)
+}

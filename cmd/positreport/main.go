@@ -1,0 +1,181 @@
+// Command positreport regenerates the paper's tables and figures as
+// text charts (and optionally TSV series for external plotting).
+//
+// Usage:
+//
+//	positreport -fig 10                 # one figure, quick budget
+//	positreport -fig all -budget paper  # everything at 313 trials/bit
+//	positreport -fig 20 -tsv out/       # also dump TSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"positres/internal/core"
+	"positres/internal/figures"
+	"positres/internal/textplot"
+)
+
+// renderable is anything with a text rendering.
+type renderable interface{ Render() string }
+
+func main() {
+	var (
+		figFlag    = flag.String("fig", "all", "figure id: table1, 3, 7, 10, 11, 11abs, 14, 16, 18, 20, findings, widths, multibit, ablation, or all")
+		budgetName = flag.String("budget", "quick", "quick (fast) or paper (313 trials/bit, 2M elements)")
+		tsvDir     = flag.String("tsv", "", "directory to also write TSV series into")
+		datasetN   = flag.Int("n", 0, "override dataset sample size")
+		trials     = flag.Int("trials", 0, "override trials per bit")
+		seed       = flag.Uint64("seed", 0, "override seed")
+		fromDir    = flag.String("from", "", "offline mode: render per-bit curves from campaign CSV logs in this directory instead of re-running")
+	)
+	flag.Parse()
+
+	if *fromDir != "" {
+		if err := offline(*fromDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	b := figures.QuickBudget
+	if *budgetName == "paper" {
+		b = figures.PaperBudget
+	}
+	if *datasetN > 0 {
+		b.DatasetN = *datasetN
+	}
+	if *trials > 0 {
+		b.TrialsPerBit = *trials
+	}
+	if *seed > 0 {
+		b.Seed = *seed
+	}
+
+	builders := map[string]func() renderable{
+		"table1":     func() renderable { return figures.Table1(b) },
+		"3":          func() renderable { return figures.Fig3() },
+		"7":          func() renderable { return figures.Fig7() },
+		"10":         func() renderable { return figures.Fig10(b) },
+		"11":         func() renderable { return figures.Fig11(b) },
+		"11abs":      func() renderable { return figures.Fig11AbsErr(b) },
+		"14":         func() renderable { return figures.Fig14(b) },
+		"16":         func() renderable { return figures.Fig16(b) },
+		"18":         func() renderable { return figures.Fig18(b) },
+		"20":         func() renderable { return figures.Fig20(b) },
+		"findings":   func() renderable { return figures.FindingsTable(b, figures.Fig10Fields) },
+		"widths":     func() renderable { return figures.WidthSweep(b, "Hurricane/Vf30") },
+		"multibit":   func() renderable { return figures.MultiBitTable(b, "HACC/vy") },
+		"ablation":   func() renderable { return figures.ESAblation(b, "CESM/RELHUM") },
+		"solver":     func() renderable { return figures.SolverImpactTable(b) },
+		"protection": func() renderable { return figures.ProtectionTable(b) },
+		"softerror":  func() renderable { return figures.SoftErrorTable(b) },
+		"ml":         func() renderable { return figures.MLFlipChart(b) },
+		"mltable":    func() renderable { return figures.MLImpactTable(b) },
+		"detection":  func() renderable { return figures.DetectionChart(b) },
+		"dettable":   func() renderable { return figures.DetectionTable(b) },
+		"abft":       func() renderable { return figures.ABFTTable(b) },
+		"checkpoint": func() renderable { return figures.CheckpointTable(b) },
+		"sdc":        func() renderable { return figures.SDCChart(b, 1) },
+		"sdctable":   func() renderable { return figures.SDCTable(b) },
+		"repr":       func() renderable { return figures.RepresentationTable(b) },
+	}
+	order := []string{"table1", "3", "7", "10", "11", "11abs", "14", "16", "18", "20",
+		"findings", "widths", "multibit", "ablation", "solver", "protection", "softerror", "ml", "mltable", "detection", "dettable", "abft", "checkpoint", "sdc", "sdctable", "repr"}
+
+	var ids []string
+	if *figFlag == "all" {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*figFlag, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := builders[id]; !ok {
+				fmt.Fprintf(os.Stderr, "positreport: unknown figure %q (known: %s, all)\n", id, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	if *tsvDir != "" {
+		if err := os.MkdirAll(*tsvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		r := builders[id]()
+		fmt.Println(r.Render())
+		if *tsvDir != "" {
+			if lc, ok := r.(*textplot.LineChart); ok {
+				path := filepath.Join(*tsvDir, "fig"+id+".tsv")
+				if err := os.WriteFile(path, []byte(lc.TSV()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("(tsv: %s)\n\n", path)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "positreport:", err)
+	os.Exit(1)
+}
+
+// offline renders a Fig. 10-style chart and a field-error summary from
+// every campaign CSV in dir — the paper's "write them to a log file in
+// CSV form for offline analysis and visualization" step.
+func offline(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no .csv campaign logs in %s", dir)
+	}
+	sort.Strings(paths)
+	chart := &textplot.LineChart{
+		Title:  "Offline: mean relative error per bit (from campaign logs)",
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "mean relative error",
+		LogY:   true,
+		Height: 24,
+	}
+	summary := &textplot.Table{Header: []string{
+		"log", "trials", "catastrophic", "field", "mean rel err (finite)",
+	}}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		trials, err := core.ReadTrialsCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if len(trials) == 0 {
+			continue
+		}
+		label := trials[0].Codec + " " + trials[0].Field
+		aggs := core.AggregateByBit(trials)
+		s := textplot.Series{Name: label}
+		for _, a := range aggs {
+			s.X = append(s.X, float64(a.Bit))
+			s.Y = append(s.Y, a.MeanRelErr)
+		}
+		chart.Series = append(chart.Series, s)
+		for name, agg := range core.FieldErrorSummary(trials) {
+			summary.AddRow(filepath.Base(path), fmt.Sprintf("%d", agg.Trials),
+				fmt.Sprintf("%d", agg.Catastrophic), name, fmt.Sprintf("%.3g", agg.MeanRelErr))
+		}
+	}
+	fmt.Println(chart.Render())
+	fmt.Println(summary.Render())
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command sdrgen generates the synthetic SDRBench stand-in datasets
+// and prints the Table 1 summary (dataset statistics, synthetic vs the
+// paper's reported values).
+//
+// Usage:
+//
+//	sdrgen -table                      # print Table 1
+//	sdrgen -out /tmp/sdr -n 1000000    # write all fields as .f32 files
+//	sdrgen -out /tmp/sdr -field Nyx/temperature
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"positres/internal/figures"
+	"positres/internal/sdrbench"
+)
+
+func main() {
+	var (
+		outDir    = flag.String("out", "", "directory to write raw float32 field files into")
+		fieldFlag = flag.String("field", "", "single field to generate (Dataset/Name); default all")
+		n         = flag.Int("n", 1_000_000, "elements per field")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		table     = flag.Bool("table", false, "print the Table 1 summary")
+	)
+	flag.Parse()
+
+	if *table {
+		fmt.Print(figures.Table1(figures.Budget{DatasetN: *n, TrialsPerBit: 1, Seed: *seed}).Render())
+	}
+	if *outDir == "" {
+		if !*table {
+			flag.Usage()
+			os.Exit(2)
+		}
+		return
+	}
+
+	fields := sdrbench.Fields()
+	if *fieldFlag != "" {
+		f, err := sdrbench.Lookup(*fieldFlag)
+		if err != nil {
+			fatal(err)
+		}
+		fields = []sdrbench.Field{f}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, f := range fields {
+		name := strings.ReplaceAll(f.Key(), "/", "_") + ".f32"
+		path := filepath.Join(*outDir, name)
+		data := f.Generate(*n, *seed)
+		if err := sdrbench.WriteRawFile(path, data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d elements, %d bytes)\n", path, len(data), 4*len(data))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdrgen:", err)
+	os.Exit(1)
+}

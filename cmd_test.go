@@ -1,0 +1,170 @@
+package positres_test
+
+// End-to-end CLI tests: build each tool and drive it the way a user
+// would, checking output shape and exit behaviour.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles a cmd into a temp dir once per test run.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI build skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIPositinspect(t *testing.T) {
+	bin := buildTool(t, "positinspect")
+	out, err := run(t, bin, "-value", "186.25", "-fmt", "posit32", "-sweep")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"posit32", "0|110|11|", "regime-expand", "sign", "fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	// IEEE mode with raw bits.
+	out, err = run(t, bin, "-bits", "0x3F800000", "-fmt", "ieee32")
+	if err != nil || !strings.Contains(out, "value:   1") {
+		t.Errorf("ieee inspect: %v\n%s", err, out)
+	}
+	// Missing input exits nonzero.
+	if _, err := run(t, bin); err == nil {
+		t.Error("no input should fail")
+	}
+	// Unknown format exits nonzero.
+	if _, err := run(t, bin, "-value", "1", "-fmt", "bogus"); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestCLISdrgen(t *testing.T) {
+	bin := buildTool(t, "sdrgen")
+	dir := t.TempDir()
+	out, err := run(t, bin, "-out", dir, "-field", "CESM/CLOUD", "-n", "5000")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	path := filepath.Join(dir, "CESM_CLOUD.f32")
+	st, err := os.Stat(path)
+	if err != nil || st.Size() != 4*5000 {
+		t.Fatalf("generated file: %v, size %d", err, st.Size())
+	}
+	// Table mode prints all 16 fields.
+	out, err = run(t, bin, "-table", "-n", "2000")
+	if err != nil || strings.Count(out, "Hurricane") != 6 {
+		t.Errorf("table: %v\n%s", err, out)
+	}
+	// Unknown field fails.
+	if _, err := run(t, bin, "-out", dir, "-field", "no/field"); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+func TestCLIPositcampaign(t *testing.T) {
+	bin := buildTool(t, "positcampaign")
+	dir := t.TempDir()
+	out, err := run(t, bin, "-field", "Hurricane/Vf30", "-formats", "posit32,ieee32",
+		"-n", "20000", "-trials", "10", "-out", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Hurricane/Vf30 / posit32", "Hurricane/Vf30 / ieee32", "mean rel err"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign output missing %q", want)
+		}
+	}
+	for _, f := range []string{"Hurricane_Vf30_posit32.csv", "Hurricane_Vf30_ieee32.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("log %s: %v", f, err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines != 1+32*10 {
+			t.Errorf("%s: %d lines, want %d", f, lines, 1+32*10)
+		}
+	}
+	// Campaign over an explicit .f32 file.
+	raw := filepath.Join(dir, "data.f32")
+	gen := buildTool(t, "sdrgen")
+	if out, err := run(t, gen, "-out", dir, "-field", "HACC/vx", "-n", "5000"); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	os.Rename(filepath.Join(dir, "HACC_vx.f32"), raw)
+	out, err = run(t, bin, "-field", "HACC/vx", "-data", raw, "-formats", "posit16", "-trials", "5")
+	if err != nil || !strings.Contains(out, "HACC/vx / posit16") {
+		t.Errorf("file campaign: %v\n%s", err, out)
+	}
+	// Missing field flag exits nonzero.
+	if _, err := run(t, bin); err == nil {
+		t.Error("missing -field should fail")
+	}
+}
+
+func TestCLIPositreport(t *testing.T) {
+	bin := buildTool(t, "positreport")
+	dir := t.TempDir()
+	out, err := run(t, bin, "-fig", "3,7", "-tsv", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Fig 3") || !strings.Contains(out, "Fig 7") {
+		t.Errorf("report output:\n%s", out)
+	}
+	for _, f := range []string{"fig3.tsv", "fig7.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("tsv %s: %v", f, err)
+		}
+	}
+	// A fast campaign-backed figure with custom budget.
+	out, err = run(t, bin, "-fig", "16", "-n", "20000", "-trials", "15")
+	if err != nil || !strings.Contains(out, "Fig 16") {
+		t.Errorf("fig16: %v\n%s", err, out)
+	}
+	// Unknown figure exits nonzero.
+	if _, err := run(t, bin, "-fig", "99"); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestCLIPositreportOffline(t *testing.T) {
+	campaign := buildTool(t, "positcampaign")
+	report := buildTool(t, "positreport")
+	dir := t.TempDir()
+	if out, err := run(t, campaign, "-field", "CESM/RELHUM", "-formats", "posit32,ieee32",
+		"-n", "20000", "-trials", "10", "-out", dir); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	out, err := run(t, report, "-from", dir)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"Offline:", "posit32 CESM/RELHUM", "ieee32 CESM/RELHUM", "regime", "exponent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("offline report missing %q:\n%s", want, out)
+		}
+	}
+	// Empty directory fails.
+	if _, err := run(t, report, "-from", t.TempDir()); err == nil {
+		t.Error("empty log dir should fail")
+	}
+}

@@ -1,0 +1,51 @@
+// campaign_mini runs an end-to-end reduced fault-injection campaign —
+// generate synthetic fields, inject faults at every bit for both
+// formats, and render the paper's Fig. 10-style comparison plus the
+// regime-bucketed analysis — all in a couple of seconds.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"positres"
+)
+
+func main() {
+	b := positres.QuickBudget
+
+	fmt.Println("Synthetic dataset summary (paper Table 1, reduced sample):")
+	fmt.Println(positres.Table1(b).Render())
+
+	fmt.Println(positres.Fig10(b).Render())
+	fmt.Println(positres.Fig11(b).Render())
+	fmt.Println(positres.Fig14(b).Render())
+	fmt.Println(positres.Fig20(b).Render())
+
+	// Persist one campaign's raw trials as CSV, as the paper's harness
+	// does for offline analysis.
+	field, err := positres.LookupField("CESM/RELHUM")
+	if err != nil {
+		panic(err)
+	}
+	data := positres.WidenFloat32(field.Generate(b.DatasetN, b.Seed))
+	codec, err := positres.LookupFormat("posit32")
+	if err != nil {
+		panic(err)
+	}
+	cfg := positres.DefaultCampaignConfig()
+	cfg.TrialsPerBit = b.TrialsPerBit
+	res, err := positres.RunCampaign(cfg, codec, field.Key(), data)
+	if err != nil {
+		panic(err)
+	}
+	f, err := os.CreateTemp("", "positres-trials-*.csv")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := positres.WriteTrialsCSV(f, res.Trials); err != nil {
+		panic(err)
+	}
+	fmt.Printf("wrote %d trial records to %s\n", len(res.Trials), f.Name())
+}

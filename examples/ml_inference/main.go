@@ -1,0 +1,24 @@
+// ml_inference reproduces the experiment of the paper's ref [8]
+// (Alouani et al., VLSID 2021): train a small classifier, store its
+// weights as posits or IEEE floats, flip weight bits, and measure the
+// damage — the mean relative error distance (MRED) of the outputs and
+// the accuracy drop. Posit-stored models degrade far more gracefully,
+// which is the application-level face of the paper's per-bit analysis.
+package main
+
+import (
+	"fmt"
+
+	"positres"
+)
+
+func main() {
+	fmt.Println("Neural-network weight bit-flip campaign (paper ref [8], Alouani et al.)")
+	fmt.Println()
+	fmt.Println(positres.MLFlipChart(positres.QuickBudget).Render())
+	fmt.Println(positres.MLImpactTable(positres.QuickBudget).Render())
+	fmt.Println("Note the IEEE curve's exponent-bit cliff (bits 23-30): a single")
+	fmt.Println("flipped weight bit there multiplies a weight by up to 2^128 and")
+	fmt.Println("drags every prediction with it. The posit curve stays bounded —")
+	fmt.Println("the regime absorbs the damage, exactly as in the per-bit study.")
+}

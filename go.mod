@@ -1,0 +1,3 @@
+module positres
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package abft implements algorithm-based fault tolerance for matrix
+// multiplication (Huang & Abraham, "Algorithm-Based Fault Tolerance
+// for Matrix Operations" — the paper's refs [29, 30]): the operands
+// are extended with column/row checksums, the product inherits a full
+// checksum structure, and any single corrupted element of the result
+// is located by its inconsistent row and column and corrected from the
+// checksums.
+//
+// Matrices are stored in a number format (posit or IEEE) through
+// kernels.Array, so injected bit flips corrupt exactly what a memory
+// fault would — completing the paper's fault-tolerance triangle:
+// per-bit error analysis (core), memory protection (ecc), and
+// algorithmic protection (this package).
+package abft
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/kernels"
+	"positres/internal/numfmt"
+)
+
+// Matrix is a dense row-major matrix stored in a number format.
+type Matrix struct {
+	Rows, Cols int
+	data       *kernels.Array
+}
+
+// NewMatrix stores vals (row-major, len Rows×Cols) in the format.
+func NewMatrix(codec numfmt.Codec, rows, cols int, vals []float64) (*Matrix, error) {
+	if len(vals) != rows*cols {
+		return nil, fmt.Errorf("abft: %d values for a %dx%d matrix", len(vals), rows, cols)
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: kernels.NewArray(codec, vals)}, nil
+}
+
+// At reads element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data.Load(i*m.Cols + j) }
+
+// Set writes element (i, j), rounding into the format.
+func (m *Matrix) Set(i, j int, v float64) { m.data.Store(i*m.Cols+j, v) }
+
+// InjectBitFlip flips one stored bit of element (i, j).
+func (m *Matrix) InjectBitFlip(i, j, bit int) { m.data.InjectBitFlip(i*m.Cols+j, bit) }
+
+// Protected is a full-checksum product matrix: the data block is
+// C = A·B (Rows×Cols), bordered by a checksum column (each row's sum)
+// and a checksum row (each column's sum), all stored in the format.
+type Protected struct {
+	*Matrix // (Rows+1) × (Cols+1), data block in the top-left
+
+	// Tol is the relative tolerance separating format rounding noise
+	// from corruption during verification.
+	Tol float64
+}
+
+// MulChecked multiplies A (m×n) by B (n×p) with the Huang–Abraham
+// full-checksum scheme, returning the protected product. tol is the
+// verification tolerance relative to each row/column's magnitude
+// (use ~1e-5 for 32-bit formats).
+func MulChecked(a, b *Matrix, tol float64) (*Protected, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("abft: shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	m, n, p := a.Rows, a.Cols, b.Cols
+	codec := a.data.Codec()
+	full := make([]float64, (m+1)*(p+1))
+	// Data block.
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			full[i*(p+1)+j] = s
+		}
+	}
+	// Checksum column (row sums), then checksum row (column sums);
+	// the corner ends up the grand total, cross-validating both.
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < p; j++ {
+			s += full[i*(p+1)+j]
+		}
+		full[i*(p+1)+p] = s
+	}
+	for j := 0; j <= p; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += full[i*(p+1)+j]
+		}
+		full[m*(p+1)+j] = s
+	}
+	mat := &Matrix{Rows: m + 1, Cols: p + 1, data: kernels.NewArray(codec, full)}
+	return &Protected{Matrix: mat, Tol: tol}, nil
+}
+
+// Verdict reports a verification pass.
+type Verdict struct {
+	OK bool
+	// Row/Col locate the corrupted data element when both a row and a
+	// column are inconsistent (-1 when that side is consistent —
+	// a checksum-element fault shows up on one side only).
+	Row, Col int
+	// Delta is the row-side discrepancy (sum − checksum) at the fault.
+	Delta float64
+}
+
+// Verify recomputes every row and column sum of the data block and
+// compares against the stored checksums.
+func (p *Protected) Verify() Verdict {
+	m, pc := p.Rows-1, p.Cols-1
+	v := Verdict{OK: true, Row: -1, Col: -1}
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < pc; j++ {
+			s += p.At(i, j)
+		}
+		chk := p.At(i, pc)
+		if bad(s, chk, p.Tol) {
+			v.OK = false
+			v.Row = i
+			v.Delta = s - chk
+			break
+		}
+	}
+	for j := 0; j < pc; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += p.At(i, j)
+		}
+		if bad(s, p.At(m, j), p.Tol) {
+			v.OK = false
+			v.Col = j
+			break
+		}
+	}
+	return v
+}
+
+func bad(sum, chk, tol float64) bool {
+	if math.IsNaN(sum) || math.IsNaN(chk) || math.IsInf(sum, 0) || math.IsInf(chk, 0) {
+		return true
+	}
+	scale := math.Abs(sum) + math.Abs(chk) + 1
+	return math.Abs(sum-chk) > tol*scale
+}
+
+// Correct repairs a single corrupted element located by Verify:
+// a data element at (Row, Col) is reconstructed from its row checksum;
+// a corrupted checksum element (one-sided inconsistency) is recomputed.
+// It returns whether a repair was applied.
+func (p *Protected) Correct() bool {
+	v := p.Verify()
+	if v.OK {
+		return false
+	}
+	m, pc := p.Rows-1, p.Cols-1
+	switch {
+	case v.Row >= 0 && v.Col >= 0:
+		// Data element: others in its row are intact, so the row
+		// checksum reconstructs it.
+		var s float64
+		for j := 0; j < pc; j++ {
+			if j != v.Col {
+				s += p.At(v.Row, j)
+			}
+		}
+		p.Set(v.Row, v.Col, p.At(v.Row, pc)-s)
+	case v.Row >= 0:
+		// Row-checksum element corrupted: recompute it.
+		var s float64
+		for j := 0; j < pc; j++ {
+			s += p.At(v.Row, j)
+		}
+		p.Set(v.Row, pc, s)
+	case v.Col >= 0:
+		// Column-checksum element corrupted: recompute it.
+		var s float64
+		for i := 0; i < m; i++ {
+			s += p.At(i, v.Col)
+		}
+		p.Set(m, v.Col, s)
+	default:
+		return false
+	}
+	return true
+}
+
+// Data extracts the (unbordered) product block.
+func (p *Protected) Data() []float64 {
+	m, pc := p.Rows-1, p.Cols-1
+	out := make([]float64, m*pc)
+	for i := 0; i < m; i++ {
+		for j := 0; j < pc; j++ {
+			out[i*pc+j] = p.At(i, j)
+		}
+	}
+	return out
+}
+
+// MaxDataError returns the largest absolute difference between the
+// protected product block and a reference block.
+func (p *Protected) MaxDataError(ref []float64) float64 {
+	m, pc := p.Rows-1, p.Cols-1
+	worst := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < pc; j++ {
+			d := math.Abs(p.At(i, j) - ref[i*pc+j])
+			if math.IsNaN(d) {
+				return math.Inf(1)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

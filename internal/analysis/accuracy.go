@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"math"
+
+	"positres/internal/ieee754"
+	"positres/internal/posit"
+)
+
+// AccuracyPoint is one point of the paper's Fig. 7: the worst-case
+// decimal accuracy of a format for values at binary scale 2^Scale.
+type AccuracyPoint struct {
+	Scale       int     // base-2 exponent of the value's binade
+	PositDigits float64 // decimal digits of the posit format at that scale
+	IEEEDigits  float64 // decimal digits of the IEEE format at that scale
+}
+
+// log10of2 converts significand bits to decimal digits.
+const log10of2 = 0.30102999566398119521
+
+// PositDigitsAt returns the decimal accuracy of a posit configuration
+// for values in the binade [2^scale, 2^(scale+1)): log10(2)·(m+1)
+// where m is the fraction length at that scale. Scales outside the
+// dynamic range have zero digits.
+func PositDigitsAt(cfg posit.Config, scale int) float64 {
+	if scale >= cfg.MaxScale() || scale < -cfg.MaxScale() {
+		return 0
+	}
+	r := scale >> uint(cfg.ES)
+	regimeLen := r + 2
+	if r < 0 {
+		regimeLen = -r + 1
+	}
+	m := cfg.N - 1 - regimeLen - cfg.ES
+	if m < 0 {
+		m = 0
+	}
+	return log10of2 * float64(m+1)
+}
+
+// IEEEDigitsAt returns the decimal accuracy of an IEEE format at a
+// binade: constant for normals, tapering through the subnormals, zero
+// outside the range.
+func IEEEDigitsAt(f ieee754.Format, scale int) float64 {
+	switch {
+	case scale > f.EMax():
+		return 0 // overflows to Inf
+	case scale >= f.EMin():
+		return log10of2 * float64(f.FracBits+1)
+	case scale >= f.EMin()-f.FracBits:
+		// Subnormal: one significand bit lost per binade below EMin.
+		return log10of2 * float64(f.FracBits+1-(f.EMin()-scale))
+	}
+	return 0
+}
+
+// DecimalAccuracyProfile tabulates Fig. 7 over [-maxScale, +maxScale]
+// of the posit configuration (the IEEE curve is clipped to its own
+// range inside that window).
+func DecimalAccuracyProfile(cfg posit.Config, f ieee754.Format) []AccuracyPoint {
+	lo, hi := -cfg.MaxScale(), cfg.MaxScale()
+	out := make([]AccuracyPoint, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, AccuracyPoint{
+			Scale:       s,
+			PositDigits: PositDigitsAt(cfg, s),
+			IEEEDigits:  IEEEDigitsAt(f, s),
+		})
+	}
+	return out
+}
+
+// CrossoverScales returns the scales at which the posit's accuracy
+// advantage over the IEEE format changes sign — the "golden zone"
+// boundaries around ±1 that the posit literature (and the paper's
+// Fig. 7) highlight.
+func CrossoverScales(cfg posit.Config, f ieee754.Format) (lo, hi int) {
+	lo, hi = 0, 0
+	prev := PositDigitsAt(cfg, -cfg.MaxScale()) - IEEEDigitsAt(f, -cfg.MaxScale())
+	for s := -cfg.MaxScale() + 1; s <= cfg.MaxScale(); s++ {
+		cur := PositDigitsAt(cfg, s) - IEEEDigitsAt(f, s)
+		if prev <= 0 && cur > 0 {
+			lo = s
+		}
+		if prev > 0 && cur <= 0 {
+			hi = s
+		}
+		prev = cur
+	}
+	return lo, hi
+}
+
+// MeasuredRelRoundoff empirically measures the worst relative rounding
+// error of a codec over a binade by probing values, cross-validating
+// the analytical digit curves (used by tests and the accuracy
+// example). Returns the worst |x - round(x)| / |x| over n probes.
+func MeasuredRelRoundoff(encode func(float64) float64, scale int, n int) float64 {
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		x := math.Ldexp(1+(float64(i)+0.5)/float64(n), scale)
+		r := encode(x)
+		if r == 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return math.Inf(1)
+		}
+		if e := math.Abs(x-r) / math.Abs(x); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

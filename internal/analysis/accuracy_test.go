@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"positres/internal/ieee754"
+	"positres/internal/posit"
+)
+
+func TestPositDigitsShape(t *testing.T) {
+	cfg := posit.Std32
+	// Peak accuracy at scale 0 (and its mirror region): fraction is
+	// longest near |v| = 1 (paper §3.2 / Fig. 7).
+	peak := PositDigitsAt(cfg, 0)
+	if peak < 8 || peak > 9 {
+		t.Errorf("posit32 peak digits %v, want ≈ 8.4 (28 fraction bits)", peak)
+	}
+	// Tapering: monotone non-increasing away from zero scale.
+	for s := 0; s < cfg.MaxScale()-1; s++ {
+		if PositDigitsAt(cfg, s+1) > PositDigitsAt(cfg, s) {
+			t.Fatalf("digits increased from scale %d to %d", s, s+1)
+		}
+		if PositDigitsAt(cfg, -s-1) > PositDigitsAt(cfg, -s) {
+			t.Fatalf("digits increased from scale %d to %d", -s, -s-1)
+		}
+	}
+	// Out of range: zero digits.
+	if PositDigitsAt(cfg, cfg.MaxScale()) != 0 || PositDigitsAt(cfg, -cfg.MaxScale()-1) != 0 {
+		t.Error("digits outside dynamic range should be 0")
+	}
+}
+
+func TestIEEEDigitsShape(t *testing.T) {
+	f := ieee754.Binary32
+	want := log10of2 * 24
+	if IEEEDigitsAt(f, 0) != want || IEEEDigitsAt(f, 100) != want || IEEEDigitsAt(f, -126) != want {
+		t.Error("normal-range digits should be constant")
+	}
+	if IEEEDigitsAt(f, 128) != 0 {
+		t.Error("beyond EMax should be 0")
+	}
+	if got := IEEEDigitsAt(f, -127); got >= want || got <= 0 {
+		t.Errorf("subnormal digits %v should taper", got)
+	}
+	if IEEEDigitsAt(f, -150) != 0 {
+		t.Error("below subnormals should be 0")
+	}
+}
+
+func TestDecimalAccuracyProfile(t *testing.T) {
+	cfg := posit.Std32
+	f := ieee754.Binary32
+	prof := DecimalAccuracyProfile(cfg, f)
+	if len(prof) != 2*cfg.MaxScale()+1 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	// The posit beats binary32 near scale 0 (more fraction bits: 28 vs
+	// 24) and loses far from it — the Fig. 7 crossovers.
+	mid := prof[cfg.MaxScale()] // scale 0
+	if mid.Scale != 0 || mid.PositDigits <= mid.IEEEDigits {
+		t.Errorf("posit should win at scale 0: %+v", mid)
+	}
+	far := prof[cfg.MaxScale()+100] // scale 100
+	if far.PositDigits >= far.IEEEDigits {
+		t.Errorf("IEEE should win at scale 100: %+v", far)
+	}
+	lo, hi := CrossoverScales(cfg, f)
+	if !(lo < 0 && hi > 0) {
+		t.Errorf("crossovers (%d, %d) should bracket zero", lo, hi)
+	}
+	// posit32 vs binary32: advantage region is scale ∈ [-16, 16)
+	// (regime ≤ 5 bits ⇒ fraction ≥ 24 bits... exact bounds from the
+	// formula: posit wins while regimeLen+2 < 8, i.e. |r| small).
+	if hi-lo < 8 || hi-lo > 64 {
+		t.Errorf("advantage window [%d,%d) has implausible width", lo, hi)
+	}
+}
+
+// TestDigitsMatchMeasuredRoundoff: the analytical digit counts
+// correspond to the measured worst-case relative roundoff for both
+// formats (digits = -log10(2·roundoff) within half a digit).
+func TestDigitsMatchMeasuredRoundoff(t *testing.T) {
+	cfg := posit.Std32
+	for _, scale := range []int{-40, -17, -5, 0, 3, 18, 60, 100} {
+		worst := MeasuredRelRoundoff(func(x float64) float64 {
+			return posit.Float64ToNearest(cfg, x)
+		}, scale, 400)
+		if math.IsInf(worst, 0) {
+			t.Fatalf("scale %d out of range unexpectedly", scale)
+		}
+		wantDigits := PositDigitsAt(cfg, scale)
+		gotDigits := -math.Log10(2 * worst)
+		if math.Abs(gotDigits-wantDigits) > 0.8 {
+			t.Errorf("scale %d: analytical %v digits, measured %v", scale, wantDigits, gotDigits)
+		}
+	}
+	f := ieee754.Binary32
+	for _, scale := range []int{-30, 0, 30} {
+		worst := MeasuredRelRoundoff(func(x float64) float64 {
+			return f.Decode(f.Encode(x))
+		}, scale, 400)
+		wantDigits := IEEEDigitsAt(f, scale)
+		gotDigits := -math.Log10(2 * worst)
+		if math.Abs(gotDigits-wantDigits) > 0.8 {
+			t.Errorf("ieee scale %d: analytical %v digits, measured %v", scale, wantDigits, gotDigits)
+		}
+	}
+}

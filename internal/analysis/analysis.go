@@ -1,0 +1,217 @@
+// Package analysis implements the paper's analytical companion pieces:
+// a mathematical single-bit-flip outcome model for posits (the
+// "mathematical analysis could be done to predict potential error"
+// future-work item), classification of the flip mechanisms the paper
+// describes in §5 (regime expansion, regime inversion, sign-magnitude
+// coupling), and the decimal-accuracy-vs-magnitude profile of Fig. 7.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/ieee754"
+	"positres/internal/posit"
+	"positres/internal/qcat"
+)
+
+// PositFlipClass names the mechanism by which a single-bit flip
+// perturbs a posit, following the paper's §5 taxonomy.
+type PositFlipClass int
+
+const (
+	// ClassSign: the sign bit flipped. Unlike IEEE-754, this changes
+	// the magnitude too (§5.7).
+	ClassSign PositFlipClass = iota
+	// ClassRegimeExpand: the terminating regime bit R_k flipped, so
+	// the run absorbs the following bits and the regime grows —
+	// the dominant error for |v| > 1 (§5.4.1, Fig. 12).
+	ClassRegimeExpand
+	// ClassRegimeShrink: a run bit R_i (0 < i < k) flipped, cutting
+	// the run short and shrinking the magnitude (§5.4.1, Fig. 13).
+	ClassRegimeShrink
+	// ClassRegimeInvert: the leading run bit R_0 flipped with k > 1,
+	// inverting the regime direction (magnitude jumps across 1).
+	ClassRegimeInvert
+	// ClassRegimeInvertExpand: the sole regime run bit flipped (k = 1),
+	// inverting AND expanding the regime — the paper's Fig. 15 edge
+	// case with absolute-error spikes up to 1e11.
+	ClassRegimeInvertExpand
+	// ClassExponent: an exponent bit flipped (≤ ×4 magnitude shift,
+	// §5.6).
+	ClassExponent
+	// ClassFraction: a fraction bit flipped (linear perturbation,
+	// §5.5).
+	ClassFraction
+	// ClassToNaR / ClassFromNaR / ClassFromZero: special patterns.
+	ClassToNaR
+	ClassFromNaR
+	ClassFromZero
+)
+
+func (c PositFlipClass) String() string {
+	switch c {
+	case ClassSign:
+		return "sign"
+	case ClassRegimeExpand:
+		return "regime-expand"
+	case ClassRegimeShrink:
+		return "regime-shrink"
+	case ClassRegimeInvert:
+		return "regime-invert"
+	case ClassRegimeInvertExpand:
+		return "regime-invert-expand"
+	case ClassExponent:
+		return "exponent"
+	case ClassFraction:
+		return "fraction"
+	case ClassToNaR:
+		return "to-NaR"
+	case ClassFromNaR:
+		return "from-NaR"
+	case ClassFromZero:
+		return "from-zero"
+	}
+	return fmt.Sprintf("PositFlipClass(%d)", int(c))
+}
+
+// PositFlip is the analytical outcome of one bit flip in a posit.
+type PositFlip struct {
+	Cfg posit.Config
+	Pos int
+
+	OldBits, NewBits uint64
+	OldVal, NewVal   float64
+
+	Class PositFlipClass
+	// OldK/NewK: regime run lengths before and after; RegimeDelta is
+	// the change in the regime *value* r (each unit scales by
+	// useed = 2^2^ES).
+	OldK, NewK  int
+	RegimeDelta int
+
+	AbsErr       float64
+	RelErr       float64
+	Catastrophic bool
+}
+
+// AnalyzePositFlip predicts the outcome of flipping bit pos of the
+// posit pattern bits — without running an injection. The prediction is
+// exact (it re-decodes the flipped pattern, which is the closed-form
+// the paper derives region by region) and classifies the mechanism.
+func AnalyzePositFlip(cfg posit.Config, bits uint64, pos int) PositFlip {
+	bits = cfg.Canon(bits)
+	newBits := cfg.Canon(bits ^ uint64(1)<<uint(pos))
+	pf := PositFlip{
+		Cfg: cfg, Pos: pos,
+		OldBits: bits, NewBits: newBits,
+		OldVal: posit.DecodeFloat64(cfg, bits),
+		NewVal: posit.DecodeFloat64(cfg, newBits),
+	}
+	oldF := posit.DecodeFields(cfg, bits)
+	newF := posit.DecodeFields(cfg, newBits)
+	pf.OldK, pf.NewK = oldF.K, newF.K
+	pf.RegimeDelta = newF.R - oldF.R
+
+	switch {
+	case bits == cfg.NaR():
+		pf.Class = ClassFromNaR
+	case bits == 0:
+		pf.Class = ClassFromZero
+	case newBits == cfg.NaR():
+		pf.Class = ClassToNaR
+	case pos == cfg.N-1:
+		pf.Class = ClassSign
+	default:
+		switch posit.FieldAt(cfg, bits, pos) {
+		case posit.FieldExponent:
+			pf.Class = ClassExponent
+		case posit.FieldFraction:
+			pf.Class = ClassFraction
+		default: // regime
+			runTop := cfg.N - 2 // position of R_0
+			i := runTop - pos   // index within the regime field
+			switch {
+			case i == oldF.K && oldF.RegimeLen > oldF.K:
+				// The terminating bit R_k.
+				pf.Class = ClassRegimeExpand
+			case i == 0 && oldF.K == 1:
+				pf.Class = ClassRegimeInvertExpand
+			case i == 0:
+				pf.Class = ClassRegimeInvert
+			default:
+				pf.Class = ClassRegimeShrink
+			}
+		}
+	}
+
+	p := qcat.Point(pf.OldVal, pf.NewVal)
+	pf.AbsErr, pf.RelErr, pf.Catastrophic = p.AbsErr, p.RelErr, p.Catastrophic
+	return pf
+}
+
+// SweepPositFlips analyzes every single-bit flip of a pattern,
+// LSB-first — the per-value sweep behind the paper's worked examples.
+func SweepPositFlips(cfg posit.Config, bits uint64) []PositFlip {
+	out := make([]PositFlip, cfg.N)
+	for pos := 0; pos < cfg.N; pos++ {
+		out[pos] = AnalyzePositFlip(cfg, bits, pos)
+	}
+	return out
+}
+
+// IEEEFlip is the analytical outcome of one bit flip in an IEEE
+// value, pairing the measured error with the Elliott closed form.
+type IEEEFlip struct {
+	Fmt ieee754.Format
+	Pos int
+
+	OldBits, NewBits uint64
+	OldVal, NewVal   float64
+
+	Field   ieee754.FieldKind
+	Outcome ieee754.FlipOutcome
+
+	AbsErr       float64
+	RelErr       float64
+	Catastrophic bool
+	// PredictedRelErr is the Elliott et al. closed form (NaN when the
+	// model is out of scope); it matches RelErr in scope.
+	PredictedRelErr float64
+}
+
+// AnalyzeIEEEFlip predicts the outcome of flipping bit pos of an IEEE
+// pattern.
+func AnalyzeIEEEFlip(f ieee754.Format, bits uint64, pos int) IEEEFlip {
+	bits &= f.Mask()
+	newBits := (bits ^ uint64(1)<<uint(pos)) & f.Mask()
+	fl := IEEEFlip{
+		Fmt: f, Pos: pos,
+		OldBits: bits, NewBits: newBits,
+		OldVal: f.Decode(bits), NewVal: f.Decode(newBits),
+		Field:   f.FieldAt(pos),
+		Outcome: f.ClassifyFlip(bits, pos),
+	}
+	p := qcat.Point(fl.OldVal, fl.NewVal)
+	fl.AbsErr, fl.RelErr, fl.Catastrophic = p.AbsErr, p.RelErr, p.Catastrophic
+	fl.PredictedRelErr = f.TheoreticalRelError(bits, pos)
+	return fl
+}
+
+// SweepIEEEFlips analyzes every single-bit flip of an IEEE pattern.
+func SweepIEEEFlips(f ieee754.Format, bits uint64) []IEEEFlip {
+	out := make([]IEEEFlip, f.Width())
+	for pos := 0; pos < f.Width(); pos++ {
+		out[pos] = AnalyzeIEEEFlip(f, bits, pos)
+	}
+	return out
+}
+
+// RegimeExpansionScale returns the paper's §5.4.1 closed form for an
+// R_k flip: the magnitude scales by useed^Δr = 2^(2^ES · Δr) up to the
+// reinterpretation of the exponent and fraction bits (a factor within
+// [2^-(2^ES+1), 2^(2^ES+1))). The returned value is the pure regime
+// contribution 2^(2^ES·Δr).
+func RegimeExpansionScale(cfg posit.Config, flip PositFlip) float64 {
+	return math.Exp2(float64(int(1) << uint(cfg.ES) * flip.RegimeDelta))
+}

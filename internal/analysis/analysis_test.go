@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"positres/internal/bitflip"
+	"positres/internal/ieee754"
+	"positres/internal/posit"
+	"positres/internal/sdrbench"
+)
+
+// TestPredictionMatchesInjection: the analytical model must agree with
+// brute-force injection (flip + decode) on every pattern/position —
+// exhaustive for posit16, sampled for posit32.
+func TestPredictionMatchesInjection(t *testing.T) {
+	cfg := posit.Std16
+	for b := uint64(0); b <= cfg.Mask(); b += 7 { // stride keeps runtime sane
+		for pos := 0; pos < cfg.N; pos++ {
+			pf := AnalyzePositFlip(cfg, b, pos)
+			wantBits := bitflip.Flip(b, pos) & cfg.Mask()
+			if pf.NewBits != wantBits {
+				t.Fatalf("NewBits mismatch at %#x pos %d", b, pos)
+			}
+			wantVal := posit.DecodeFloat64(cfg, wantBits)
+			if pf.NewVal != wantVal && !(math.IsNaN(pf.NewVal) && math.IsNaN(wantVal)) {
+				t.Fatalf("NewVal mismatch at %#x pos %d: %v vs %v", b, pos, pf.NewVal, wantVal)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg = posit.Std32
+	for i := 0; i < 20000; i++ {
+		b := cfg.Canon(rng.Uint64())
+		pos := rng.Intn(cfg.N)
+		pf := AnalyzePositFlip(cfg, b, pos)
+		if pf.NewBits != bitflip.Flip(b, pos)&cfg.Mask() {
+			t.Fatalf("NewBits mismatch at %#x pos %d", b, pos)
+		}
+	}
+}
+
+// TestClassification: directed checks of the §5 taxonomy.
+func TestClassification(t *testing.T) {
+	cfg := posit.Std32
+	enc := func(x float64) uint64 { return posit.EncodeFloat64(cfg, x) }
+
+	// 186250-scale value: regime "1110" (k=3). R_k is the 0 at
+	// position 31-1-3 = 27.
+	b := enc(186250)
+	f := posit.DecodeFields(cfg, b)
+	if f.K != 5 { // 186250 ≈ 2^17.5 → r=4, k=5
+		t.Fatalf("K of 186250 = %d", f.K)
+	}
+	rkPos := cfg.N - 2 - f.K
+	if got := AnalyzePositFlip(cfg, b, rkPos).Class; got != ClassRegimeExpand {
+		t.Errorf("R_k flip class = %v", got)
+	}
+	if got := AnalyzePositFlip(cfg, b, cfg.N-2).Class; got != ClassRegimeInvert {
+		t.Errorf("R_0 flip class = %v (k>1 should invert)", got)
+	}
+	if got := AnalyzePositFlip(cfg, b, cfg.N-3).Class; got != ClassRegimeShrink {
+		t.Errorf("R_1 flip class = %v", got)
+	}
+	if got := AnalyzePositFlip(cfg, b, cfg.N-1).Class; got != ClassSign {
+		t.Errorf("sign flip class = %v", got)
+	}
+	expPos := cfg.N - 2 - f.K - 1 // first exponent bit
+	if got := AnalyzePositFlip(cfg, b, expPos-1).Class; got != ClassExponent {
+		t.Errorf("exponent flip class = %v", got)
+	}
+	if got := AnalyzePositFlip(cfg, b, 0).Class; got != ClassFraction {
+		t.Errorf("fraction flip class = %v", got)
+	}
+
+	// k=1 posit below one (e.g. 0.5 → regime "01"): flipping R_0 is
+	// the invert-and-expand edge case of Fig. 15.
+	b = enc(0.5)
+	if posit.DecodeFields(cfg, b).K != 1 {
+		t.Fatal("0.5 should have k=1")
+	}
+	if got := AnalyzePositFlip(cfg, b, cfg.N-2).Class; got != ClassRegimeInvertExpand {
+		t.Errorf("sole-run-bit flip class = %v", got)
+	}
+
+	// Special patterns.
+	if got := AnalyzePositFlip(cfg, 0, 5).Class; got != ClassFromZero {
+		t.Errorf("flip of zero class = %v", got)
+	}
+	if got := AnalyzePositFlip(cfg, cfg.NaR(), 5).Class; got != ClassFromNaR {
+		t.Errorf("flip of NaR class = %v", got)
+	}
+	// Flipping the sign bit of zero yields NaR.
+	if got := AnalyzePositFlip(cfg, 0, cfg.N-1).Class; got != ClassFromZero {
+		t.Errorf("sign flip of zero class = %v", got)
+	}
+	// +minpos's sign flip gives 0x80000001... flipping sign of
+	// pattern 1 gives 0x80000001 (not NaR); but flipping the sole set
+	// bit of minpos gives exactly zero.
+	if got := AnalyzePositFlip(cfg, 1, 0); got.NewBits != 0 || got.NewVal != 0 {
+		t.Errorf("minpos LSB flip should produce zero: %+v", got)
+	}
+	// A pattern one bit away from NaR: flipping that bit → NaR.
+	if got := AnalyzePositFlip(cfg, cfg.NaR()|1, 0).Class; got != ClassToNaR {
+		t.Errorf("to-NaR class = %v", got)
+	}
+	// String coverage.
+	for c := ClassSign; c <= ClassFromZero; c++ {
+		if c.String() == "" {
+			t.Error("empty class string")
+		}
+	}
+}
+
+// TestFig12RegimeExpansion reproduces the paper's Fig. 12: flipping
+// R_k expands the regime into the exponent/fraction and scales the
+// magnitude by ~2^(4n) for n new regime bits.
+func TestFig12RegimeExpansion(t *testing.T) {
+	cfg := posit.Std32
+	// Build a posit > 1 whose exponent and fraction MSBs continue the
+	// run when R_k flips: 0|110|11|11100... = value with r=1, e=3 and
+	// fraction 0.111…; flipping R_k (the 0) gives run of 1s length 7.
+	b := uint64(0)
+	b |= 0b110 << 28                   // regime k=2 occupying bits 30..28
+	b |= 0b11 << 26                    // exponent 3
+	b |= 0b1110 << 22                  // fraction MSBs continue the run after the flip
+	pf := AnalyzePositFlip(cfg, b, 28) // R_k at bit 28
+	if pf.Class != ClassRegimeExpand {
+		t.Fatalf("class %v", pf.Class)
+	}
+	if pf.NewK <= pf.OldK {
+		t.Fatalf("regime did not expand: k %d -> %d", pf.OldK, pf.NewK)
+	}
+	// The magnitude scales by roughly useed^Δr; check the ratio lies
+	// within the reinterpretation slack of the closed form.
+	scale := RegimeExpansionScale(cfg, pf)
+	ratio := math.Abs(pf.NewVal / pf.OldVal)
+	if ratio < scale/64 || ratio > scale*64 {
+		t.Errorf("expansion ratio %g vs closed form %g", ratio, scale)
+	}
+	if pf.RelErr < 1000 {
+		t.Errorf("R_k expansion should be catastropically large, rel err %g", pf.RelErr)
+	}
+}
+
+// TestFig13ShrinkComparable reproduces Fig. 13's claim: absolute error
+// from flipping R_0 vs R_{k-1} of a large posit is comparable (both
+// collapse the magnitude, so |err| ≈ |orig|).
+func TestFig13ShrinkComparable(t *testing.T) {
+	cfg := posit.Std32
+	b := posit.EncodeFloat64(cfg, 186250)
+	k := posit.DecodeFields(cfg, b).K
+	e0 := AnalyzePositFlip(cfg, b, cfg.N-2)       // R_0
+	eK := AnalyzePositFlip(cfg, b, cfg.N-2-(k-1)) // R_{k-1}
+	if e0.AbsErr == 0 || eK.AbsErr == 0 {
+		t.Fatal("expected nonzero errors")
+	}
+	ratio := e0.AbsErr / eK.AbsErr
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("R_0 vs R_{k-1} abs err ratio %g, expected comparable", ratio)
+	}
+	// Both are ≈ the original magnitude (the faulty value is tiny).
+	if math.Abs(e0.AbsErr-186250)/186250 > 0.1 {
+		t.Errorf("R_0 abs err %g should approximate |orig|", e0.AbsErr)
+	}
+}
+
+// TestFig15InvertExpandSpike: the k=1 below-one edge case produces
+// enormous ABSOLUTE error (the paper reports up to 1e11) even though
+// most below-one flips are mild.
+func TestFig15InvertExpandSpike(t *testing.T) {
+	cfg := posit.Std32
+	// A value just below 1 with k=1 and a fraction of mostly 1s, so
+	// the inverted regime extends deep: 0|01|11|1111... flips R_0 →
+	// 0|11|11|1111...: run of many 1s → huge positive regime.
+	b := uint64(0)
+	b |= 0b01 << 29
+	b |= 0b11 << 27
+	b |= (uint64(1) << 27) - 1 // all fraction (and exponent) bits set
+	pf := AnalyzePositFlip(cfg, b, 30)
+	if pf.Class != ClassRegimeInvertExpand {
+		t.Fatalf("class %v", pf.Class)
+	}
+	if pf.OldVal >= 1 || pf.OldVal <= 0 {
+		t.Fatalf("old value %g should be in (0,1)", pf.OldVal)
+	}
+	if pf.AbsErr < 1e11 {
+		t.Errorf("invert-expand abs err %g, paper reports spikes ≥ 1e11", pf.AbsErr)
+	}
+}
+
+// TestFig19SignFlipVsNegation: flipping the sign bit is NOT negation
+// (negation is two's complement), §5.7 / Fig. 19.
+func TestFig19SignFlipVsNegation(t *testing.T) {
+	cfg := posit.Std32
+	b := posit.EncodeFloat64(cfg, 186.25)
+	flip := AnalyzePositFlip(cfg, b, cfg.N-1)
+	if flip.NewVal == -flip.OldVal {
+		t.Error("sign flip behaved like negation")
+	}
+	neg := cfg.Negate(b)
+	if posit.DecodeFloat64(cfg, neg) != -186.25 {
+		t.Error("two's complement should negate")
+	}
+	// Magnitude changed (Fig. 21): for |v| away from 1 the exponent
+	// term flips sign, giving a drastic magnitude change.
+	if math.Abs(math.Abs(flip.NewVal)-186.25) < 1 {
+		t.Errorf("sign flip should change magnitude: %g -> %g", flip.OldVal, flip.NewVal)
+	}
+}
+
+// TestSignFlipErrorGrowsWithRegime (Fig. 20 mechanism): the absolute
+// sign-flip error grows exponentially with regime size.
+func TestSignFlipErrorGrowsWithRegime(t *testing.T) {
+	cfg := posit.Std32
+	var prev float64
+	for k := 1; k <= 6; k++ {
+		// A value with regime run k: scale 4(k-1) for k>=1 above one.
+		v := math.Ldexp(1.3, 4*(k-1))
+		b := posit.EncodeFloat64(cfg, v)
+		if got := posit.DecodeFields(cfg, b).K; got != k {
+			t.Fatalf("constructed k=%d, got %d", k, got)
+		}
+		pf := AnalyzePositFlip(cfg, b, cfg.N-1)
+		if k > 1 && pf.AbsErr <= prev {
+			t.Errorf("sign-flip abs err not growing at k=%d: %g <= %g", k, pf.AbsErr, prev)
+		}
+		prev = pf.AbsErr
+	}
+}
+
+// TestIEEEFlipAnalysis: the IEEE analyzer agrees with the Elliott
+// closed form in scope and detects catastrophes.
+func TestIEEEFlipAnalysis(t *testing.T) {
+	f := ieee754.Binary32
+	b := f.Encode(186.25)
+	sweep := SweepIEEEFlips(f, b)
+	if len(sweep) != 32 {
+		t.Fatal("sweep length")
+	}
+	for _, fl := range sweep {
+		if !math.IsNaN(fl.PredictedRelErr) && !fl.Catastrophic {
+			if math.Abs(fl.PredictedRelErr-fl.RelErr) > 1e-9*math.Max(1, fl.RelErr) {
+				t.Errorf("pos %d: predicted %g measured %g", fl.Pos, fl.PredictedRelErr, fl.RelErr)
+			}
+		}
+	}
+	if sweep[31].Field != ieee754.FieldSign || sweep[31].RelErr != 2 {
+		t.Error("sign flip should be rel err 2")
+	}
+	// Flipping the top exponent bit of a value with exp ≥ 0x80 halves
+	// the exponent; for values with exp < 0x80 it overflows to the
+	// 0xFF region only if remaining bits are all ones. For 186.25 no
+	// flip is catastrophic.
+	for _, fl := range sweep {
+		if fl.Catastrophic {
+			t.Errorf("unexpected catastrophic flip at pos %d", fl.Pos)
+		}
+	}
+	// NaN production: exponent 0xFE + fraction ≠ 0, flip exp LSB.
+	nb := f.Encode(math.MaxFloat32)
+	fl := AnalyzeIEEEFlip(f, nb, 23)
+	if !fl.Catastrophic || fl.Outcome != ieee754.OutcomeNaN {
+		t.Errorf("MaxFloat32 exp flip: %+v", fl)
+	}
+}
+
+// TestSweepPositFlips covers the sweep helper.
+func TestSweepPositFlips(t *testing.T) {
+	cfg := posit.Std16
+	b := posit.EncodeFloat64(cfg, 12.5)
+	sweep := SweepPositFlips(cfg, b)
+	if len(sweep) != 16 {
+		t.Fatal("sweep length")
+	}
+	for pos, pf := range sweep {
+		if pf.Pos != pos || pf.OldBits != b {
+			t.Fatal("sweep bookkeeping")
+		}
+	}
+}
+
+func TestRegimeHistogram(t *testing.T) {
+	cfg := posit.Std32
+	data := []float64{1, 1.5, 16, 256, 0, math.NaN(), math.Inf(1), -0.5}
+	h := RegimeHistogram(cfg, data)
+	// 1 and 1.5: k=1; -0.5: k=1; 16: k=2; 256: r=2 → k=3.
+	if h[1] != 3 || h[2] != 1 || h[3] != 1 {
+		t.Errorf("histogram: %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 5 { // zero/NaN/Inf skipped
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestSpreadOf(t *testing.T) {
+	h := map[int]int{1: 90, 2: 9, 5: 1}
+	s := SpreadOf(h, 0.05)
+	if s.Distinct != 2 || s.MaxK != 5 {
+		t.Errorf("spread: %+v", s)
+	}
+	wantMean := (90*1 + 9*2 + 1*5) / 100.0
+	if math.Abs(s.MeanK-wantMean) > 1e-12 {
+		t.Errorf("meanK %v", s.MeanK)
+	}
+	if SpreadOf(nil, 0.1).Distinct != 0 {
+		t.Error("empty spread")
+	}
+}
+
+// TestRegimeSpreadPaperClaim: §5.4.3 — datasets with large variances
+// and medians (Nyx) carry "more values with larger numbers of regime
+// bits" than narrow sub-unit datasets (CESM CLOUD), so their R_k error
+// spikes sit at lower bit positions.
+func TestRegimeSpreadPaperClaim(t *testing.T) {
+	gen := func(key string) []float64 {
+		f, err := sdrbench.Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sdrbench.ToFloat64(f.Generate(50000, 1))
+	}
+	nyx := SpreadOf(RegimeHistogram(posit.Std32, gen("Nyx/velocity-x")), 0.01)
+	cloud := SpreadOf(RegimeHistogram(posit.Std32, gen("CESM/CLOUD")), 0.01)
+	if !(nyx.MeanK > cloud.MeanK+1) {
+		t.Errorf("Nyx mean regime size (%v) should exceed CESM/CLOUD's (%v) by >1", nyx.MeanK, cloud.MeanK)
+	}
+	if !(nyx.MaxK > cloud.MaxK) {
+		t.Errorf("Nyx max regime %d should exceed CLOUD's %d", nyx.MaxK, cloud.MaxK)
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"positres/internal/posit"
+)
+
+// Regime-size distribution analysis, backing the paper's §5.4.3
+// discussion: "Because the size of the regime depends on the magnitude
+// of the posit, the width of the error distribution depends on the
+// variance and median of the data. Datasets with large variances and
+// medians have a wider error distribution since there are more values
+// with larger numbers of regime bits."
+
+// RegimeHistogram counts, for each regime run length k, how many data
+// values encode to a posit with that k (zero values are skipped, as in
+// the campaign's selection).
+func RegimeHistogram(cfg posit.Config, data []float64) map[int]int {
+	out := map[int]int{}
+	for _, v := range data {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		b := posit.EncodeFloat64(cfg, v)
+		out[posit.DecodeFields(cfg, b).K]++
+	}
+	return out
+}
+
+// RegimeSpread summarizes a regime histogram: the number of distinct
+// regime sizes carrying at least minShare of the mass, and the
+// mass-weighted mean and standard deviation of k. A large spread means
+// R_k moves across many bit positions — the paper's "wider error
+// distribution".
+type RegimeSpread struct {
+	Distinct int     // regime sizes with >= minShare of the values
+	MeanK    float64 // average regime run length
+	StdK     float64 // standard deviation of the run length
+	MaxK     int     // largest regime observed
+}
+
+// SpreadOf reduces a histogram with the given minimum share (e.g.
+// 0.01 = sizes holding at least 1% of the values).
+func SpreadOf(hist map[int]int, minShare float64) RegimeSpread {
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	s := RegimeSpread{}
+	if total == 0 {
+		return s
+	}
+	var sum, sumSq float64
+	ks := make([]int, 0, len(hist))
+	for k := range hist {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		c := hist[k]
+		share := float64(c) / float64(total)
+		if share >= minShare {
+			s.Distinct++
+		}
+		sum += float64(k * c)
+		sumSq += float64(k * k * c)
+		if k > s.MaxK {
+			s.MaxK = k
+		}
+	}
+	s.MeanK = sum / float64(total)
+	s.StdK = math.Sqrt(sumSq/float64(total) - s.MeanK*s.MeanK)
+	return s
+}

@@ -1,0 +1,135 @@
+package bitflip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskAndFlip(t *testing.T) {
+	if Mask(0) != 1 || Mask(5) != 32 || Mask(63) != 1<<63 {
+		t.Error("mask values")
+	}
+	if Flip(0b1010, 1) != 0b1000 {
+		t.Error("flip set bit")
+	}
+	if Flip(0b1010, 0) != 0b1011 {
+		t.Error("flip clear bit")
+	}
+	for _, bad := range []int{-1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) should panic", bad)
+				}
+			}()
+			Mask(bad)
+		}()
+	}
+}
+
+// TestFlipInvolution (property): flipping the same bit twice restores
+// the pattern — the XOR guarantee the paper's §4.1 relies on.
+func TestFlipInvolution(t *testing.T) {
+	f := func(bits uint64, pos uint8) bool {
+		p := int(pos % 64)
+		return Flip(Flip(bits, p), p) == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlipTouchesOnlyTarget (property): exactly one bit differs.
+func TestFlipTouchesOnlyTarget(t *testing.T) {
+	f := func(bits uint64, pos uint8) bool {
+		p := int(pos % 64)
+		diff := bits ^ Flip(bits, p)
+		return diff == uint64(1)<<uint(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipMany(t *testing.T) {
+	if FlipMany(0, 0, 1, 2) != 0b111 {
+		t.Error("flip many")
+	}
+	// Repeated positions toggle back.
+	if FlipMany(0, 3, 3) != 0 {
+		t.Error("double flip should cancel")
+	}
+	if MultiMask(0, 2, 4) != 0b10101 {
+		t.Error("multi mask")
+	}
+	if MultiMask() != 0 {
+		t.Error("empty multi mask")
+	}
+}
+
+func TestRandomPositions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		w := k + rng.Intn(32)
+		ps := RandomPositions(rng, w, k)
+		if len(ps) != k {
+			t.Fatalf("got %d positions, want %d", len(ps), k)
+		}
+		for i, p := range ps {
+			if p < 0 || p >= w {
+				t.Fatalf("position %d out of range [0,%d)", p, w)
+			}
+			if i > 0 && ps[i-1] >= p {
+				t.Fatalf("positions not strictly ascending: %v", ps)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k > width should panic")
+		}
+	}()
+	RandomPositions(rng, 3, 4)
+}
+
+func TestRandomFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		faulty, pos := RandomFlip(rng, 0xDEADBEEF, 32)
+		if pos < 0 || pos >= 32 {
+			t.Fatal("position out of range")
+		}
+		if faulty != Flip(0xDEADBEEF, pos) {
+			t.Fatal("faulty pattern inconsistent with reported position")
+		}
+		seen[pos] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("only %d of 32 positions hit in 1000 draws", len(seen))
+	}
+}
+
+func TestRandomMultiFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		faulty, ps := RandomMultiFlip(rng, 0x12345678, 32, 3)
+		if len(ps) != 3 {
+			t.Fatal("want 3 positions")
+		}
+		if faulty != FlipMany(0x12345678, ps...) {
+			t.Fatal("faulty inconsistent with positions")
+		}
+		// Exactly 3 bits differ.
+		diff := faulty ^ 0x12345678
+		n := 0
+		for ; diff != 0; diff &= diff - 1 {
+			n++
+		}
+		if n != 3 {
+			t.Fatalf("flipped %d bits, want 3", n)
+		}
+	}
+}

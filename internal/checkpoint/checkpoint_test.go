@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"positres/internal/kernels"
+	"positres/internal/numfmt"
+)
+
+func codec(t *testing.T, name string) numfmt.Codec {
+	t.Helper()
+	c, err := numfmt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTakeVerifyRestore(t *testing.T) {
+	c := codec(t, "posit32")
+	a := kernels.NewArray(c, []float64{1, 2, 3, 4})
+	ck := Take(a)
+	if !ck.Verify() {
+		t.Fatal("fresh checkpoint should verify")
+	}
+	a.Store(2, 99)
+	a.InjectBitFlip(0, 30)
+	if err := ck.Restore(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load(2) != 3 || a.Load(0) != 1 {
+		t.Fatalf("restore failed: %v", a.Float64s())
+	}
+	// A corrupted checkpoint refuses to restore.
+	ck.CorruptWord(1, 5)
+	if ck.Verify() {
+		t.Fatal("corrupted checkpoint should fail verification")
+	}
+	if err := ck.Restore(a); err == nil {
+		t.Fatal("restore from corrupted checkpoint should error")
+	}
+	// Length mismatch.
+	short := kernels.NewArray(c, []float64{1})
+	ck2 := Take(a)
+	if err := ck2.Restore(short); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestGuardedJacobiClean(t *testing.T) {
+	p := kernels.NewProblem(48)
+	res, err := GuardedJacobi(p, codec(t, "posit32"), 600, 25, 1.01, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged || res.Rollbacks != 0 {
+		t.Fatalf("clean guarded run: %+v", res)
+	}
+	if res.Checkpoints < 2 {
+		t.Fatalf("expected periodic checkpoints, got %d", res.Checkpoints)
+	}
+}
+
+// TestGuardedJacobiRecovers: a catastrophic upper-bit flip triggers a
+// rollback, and the guarded run ends close to the clean run — while
+// the unguarded solve carries the damage.
+func TestGuardedJacobiRecovers(t *testing.T) {
+	p := kernels.NewProblem(48)
+	for _, name := range []string{"ieee32", "posit32"} {
+		c := codec(t, name)
+		inj := kernels.Injection{Iter: 100, Index: 20, Bit: 30}
+
+		clean, err := GuardedJacobi(p, c, 600, 25, 1.01, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guarded, err := GuardedJacobi(p, c, 600, 25, 1.01, &inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bare, err := p.Jacobi(c, 600, 0, &inj, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if guarded.Rollbacks == 0 && name == "ieee32" {
+			t.Errorf("%s: catastrophic flip did not trigger rollback", name)
+		}
+		if guarded.SolutionErr > clean.SolutionErr*1.5 {
+			t.Errorf("%s: guarded error %g vs clean %g", name, guarded.SolutionErr, clean.SolutionErr)
+		}
+		if name == "ieee32" && !(bare.SolutionErr > 1e6*guarded.SolutionErr) {
+			t.Errorf("%s: bare error %g should dwarf guarded %g", name, bare.SolutionErr, guarded.SolutionErr)
+		}
+	}
+}
+
+func TestGuardedJacobiBadInterval(t *testing.T) {
+	p := kernels.NewProblem(16)
+	if _, err := GuardedJacobi(p, codec(t, "posit32"), 10, 0, 1.01, nil); err == nil {
+		t.Fatal("zero interval should error")
+	}
+}

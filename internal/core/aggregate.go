@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"positres/internal/stats"
+)
+
+// BitAgg aggregates all trials at one bit position — one point on the
+// paper's per-bit error curves (Figs. 3, 10, 11, 14, 16, 18).
+type BitAgg struct {
+	Bit    int
+	Trials int
+	// Catastrophic counts flips whose faulty value decoded to
+	// NaN/Inf/NaR (or whose original was zero).
+	Catastrophic int
+
+	// Aggregates over the non-catastrophic trials.
+	MeanRelErr   float64
+	MedianRelErr float64
+	GeoRelErr    float64
+	MaxRelErr    float64
+	MeanAbsErr   float64
+	MedianAbsErr float64
+	MaxAbsErr    float64
+
+	// Field attribution: fraction of trials whose flipped bit fell in
+	// each field at this position (posit fields move per value).
+	FieldShare map[string]float64
+}
+
+// AggregateByBit groups trials by bit position. Bits with no trials
+// are omitted; results are sorted by bit.
+func AggregateByBit(trials []Trial) []BitAgg {
+	byBit := map[int][]Trial{}
+	for _, tr := range trials {
+		byBit[tr.Bit] = append(byBit[tr.Bit], tr)
+	}
+	bits := make([]int, 0, len(byBit))
+	for b := range byBit {
+		bits = append(bits, b)
+	}
+	sort.Ints(bits)
+	out := make([]BitAgg, 0, len(bits))
+	for _, b := range bits {
+		out = append(out, aggregateOne(b, byBit[b]))
+	}
+	return out
+}
+
+func aggregateOne(bit int, trials []Trial) BitAgg {
+	agg := BitAgg{Bit: bit, Trials: len(trials), FieldShare: map[string]float64{}}
+	var rels, abss []float64
+	for _, tr := range trials {
+		agg.FieldShare[tr.FieldName] += 1 / float64(len(trials))
+		if tr.Catastrophic {
+			agg.Catastrophic++
+			continue
+		}
+		rels = append(rels, tr.RelErr)
+		abss = append(abss, tr.AbsErr)
+	}
+	if len(rels) == 0 {
+		agg.MeanRelErr = math.NaN()
+		agg.MedianRelErr = math.NaN()
+		agg.GeoRelErr = math.NaN()
+		agg.MaxRelErr = math.NaN()
+		agg.MeanAbsErr = math.NaN()
+		agg.MedianAbsErr = math.NaN()
+		agg.MaxAbsErr = math.NaN()
+		return agg
+	}
+	agg.MeanRelErr = stats.Mean(rels)
+	agg.MedianRelErr = stats.Median(rels)
+	agg.GeoRelErr = stats.GeoMean(rels)
+	agg.MaxRelErr = stats.Max(rels)
+	agg.MeanAbsErr = stats.Mean(abss)
+	agg.MedianAbsErr = stats.Median(abss)
+	agg.MaxAbsErr = stats.Max(abss)
+	return agg
+}
+
+// Filter returns the trials satisfying pred.
+func Filter(trials []Trial, pred func(Trial) bool) []Trial {
+	var out []Trial
+	for _, tr := range trials {
+		if pred(tr) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// MagnitudeAbove selects trials whose encoded value has |v| > 1 — the
+// population of the paper's Fig. 11.
+func MagnitudeAbove(trials []Trial) []Trial {
+	return Filter(trials, func(tr Trial) bool { return math.Abs(tr.ReprValue) > 1 })
+}
+
+// MagnitudeBelow selects trials with 0 < |v| < 1 — Fig. 14's population.
+func MagnitudeBelow(trials []Trial) []Trial {
+	return Filter(trials, func(tr Trial) bool {
+		a := math.Abs(tr.ReprValue)
+		return a > 0 && a < 1
+	})
+}
+
+// ByRegimeSize groups trials by the regime run length k of the
+// original pattern (paper eq. 1 sorting, §5.4: "the equation to
+// calculate regime size is implemented to sort results").
+func ByRegimeSize(trials []Trial) map[int][]Trial {
+	out := map[int][]Trial{}
+	for _, tr := range trials {
+		out[tr.RegimeK] = append(out[tr.RegimeK], tr)
+	}
+	return out
+}
+
+// RegimeCurve aggregates by bit within each regime-size bucket,
+// producing the family of curves in Figs. 11 and 14.
+func RegimeCurve(trials []Trial) map[int][]BitAgg {
+	out := map[int][]BitAgg{}
+	for k, ts := range ByRegimeSize(trials) {
+		out[k] = AggregateByBit(ts)
+	}
+	return out
+}
+
+// SignBitErrors extracts the absolute errors of sign-bit flips grouped
+// by regime size — the box-plot populations of Fig. 20.
+func SignBitErrors(trials []Trial, width int) map[int][]float64 {
+	out := map[int][]float64{}
+	for _, tr := range trials {
+		if tr.Bit != width-1 || tr.Catastrophic {
+			continue
+		}
+		out[tr.RegimeK] = append(out[tr.RegimeK], tr.AbsErr)
+	}
+	return out
+}
+
+// SignBoxes renders the Fig. 20 five-number summaries per regime size,
+// sorted by k.
+func SignBoxes(trials []Trial, width int) []struct {
+	K   int
+	Box stats.BoxStats
+} {
+	errs := SignBitErrors(trials, width)
+	ks := make([]int, 0, len(errs))
+	for k := range errs {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([]struct {
+		K   int
+		Box stats.BoxStats
+	}, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, struct {
+			K   int
+			Box stats.BoxStats
+		}{k, stats.Box(errs[k])})
+	}
+	return out
+}
+
+// FieldErrorSummary groups trials by the name of the flipped field and
+// summarizes each group's relative error — the paper's §5 narrative
+// (regime vs exponent vs fraction vs sign).
+func FieldErrorSummary(trials []Trial) map[string]BitAgg {
+	byField := map[string][]Trial{}
+	for _, tr := range trials {
+		byField[tr.FieldName] = append(byField[tr.FieldName], tr)
+	}
+	out := map[string]BitAgg{}
+	for name, ts := range byField {
+		out[name] = aggregateOne(-1, ts)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+
+	"positres/internal/qcat"
+)
+
+// TrialArrayMetrics derives the full-array QCAT metrics for a trial —
+// the paper's §4.2 computes them over the whole faulty array, but with
+// exactly one corrupted element every metric follows from the point
+// change and the baseline in O(1):
+//
+//	max abs err = |orig − faulty|        (all other elements are equal)
+//	MSE         = d² / n,  L2 = d
+//	MRED        = pointwise rel err / #nonzero elements
+//	NRMSE/PSNR  from the baseline's value range
+//
+// n is the array length, nNonzero the count of nonzero original
+// elements (MRED averages over those), and valueRange is
+// max(orig) − min(orig) from the baseline summary. The result matches
+// qcat.Compare over materialized arrays exactly (asserted in tests).
+func TrialArrayMetrics(tr Trial, n, nNonzero int, valueRange float64) qcat.Metrics {
+	m := qcat.Metrics{N: n}
+	if n == 0 {
+		return m
+	}
+	faulty := tr.FaultyVal
+	if math.IsNaN(faulty) || math.IsInf(faulty, 0) {
+		// The corrupted element is special: max metrics are infinite,
+		// mean metrics exclude it (and are therefore zero), and the
+		// range-relative metrics are undefined.
+		m.SpecialValues = 1
+		m.MaxAbsErr = math.Inf(1)
+		m.MaxRelErr = math.Inf(1)
+		m.MaxValRangeRelErr = math.NaN()
+		m.NRMSE = math.NaN()
+		m.PSNR = math.NaN()
+		return m
+	}
+	d := math.Abs(tr.OrigValue - faulty)
+	m.MaxAbsErr = d
+	m.MSE = d * d / float64(n)
+	m.RMSE = math.Sqrt(m.MSE)
+	m.L2Norm = d
+	switch {
+	case tr.OrigValue != 0:
+		m.MaxRelErr = d / math.Abs(tr.OrigValue)
+		if nNonzero > 0 {
+			m.MRED = m.MaxRelErr / float64(nNonzero)
+		}
+	case d > 0:
+		// A zero original corrupted to nonzero: infinite pointwise
+		// relative error, but (like qcat.Compare) excluded from MRED.
+		m.MaxRelErr = math.Inf(1)
+	}
+	if valueRange > 0 {
+		m.MaxValRangeRelErr = d / valueRange
+		m.NRMSE = m.RMSE / valueRange
+		if m.NRMSE > 0 {
+			m.PSNR = -20 * math.Log10(m.NRMSE)
+		} else {
+			m.PSNR = math.Inf(1)
+		}
+	} else {
+		m.MaxValRangeRelErr = math.NaN()
+		m.NRMSE = math.NaN()
+		m.PSNR = math.NaN()
+	}
+	return m
+}
+
+// CountNonzero returns the number of nonzero, finite elements — the
+// MRED denominator for TrialArrayMetrics.
+func CountNonzero(data []float64) int {
+	n := 0
+	for _, v := range data {
+		if v != 0 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+// Package core implements the paper's primary contribution: the
+// bit-flip fault-injection campaign of §4. A campaign runs a series of
+// trials for every bit position of a number format; each trial picks a
+// random element of a scientific dataset, encodes it in the format
+// under test, flips one bit with an XOR mask, decodes the corrupted
+// pattern, and records error metrics against the original data.
+//
+// The engine is deterministic: every random choice is drawn from a
+// dedicated PRNG stream keyed by (seed, field, codec, bit, trial), so
+// results are bit-for-bit reproducible at any worker count — a
+// stronger property than the paper's single seeded generator.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"positres/internal/bitflip"
+	"positres/internal/numfmt"
+	"positres/internal/qcat"
+	"positres/internal/sdrbench"
+	"positres/internal/stats"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Seed drives every random choice. Campaigns with equal seeds and
+	// inputs produce identical results.
+	Seed uint64
+	// TrialsPerBit is the number of injections per bit position; the
+	// paper uses 313 (~10,000 per 32-bit format per field).
+	TrialsPerBit int
+	// Workers bounds the goroutine pool; 0 means GOMAXPROCS.
+	Workers int
+	// SkipZeros excludes exactly-zero elements from selection (their
+	// relative error is undefined; the paper's plotted fields carry
+	// negligible zero mass). When false, zero selections are injected
+	// and recorded as catastrophic.
+	SkipZeros bool
+	// MaxSelectAttempts bounds the zero-rejection loop per trial.
+	MaxSelectAttempts int
+}
+
+// DefaultConfig mirrors the paper's campaign parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		TrialsPerBit:      313,
+		SkipZeros:         true,
+		MaxSelectAttempts: 64,
+	}
+}
+
+// Trial is one fault injection: its provenance, the bit-level change,
+// and the resulting error (paper Fig. 8's per-trial log row).
+type Trial struct {
+	Field string // dataset field key, e.g. "Nyx/temperature"
+	Codec string // format name, e.g. "posit32"
+	Bit   int    // flipped bit position (0 = LSB)
+	Seq   int    // trial sequence number within this bit
+
+	Index     int     // element index chosen in the data
+	OrigValue float64 // original (float32-exact) data value
+	ReprValue float64 // value after rounding into the format under test
+
+	OrigBits   uint64 // encoded pattern before the flip
+	FaultyBits uint64 // pattern after the XOR
+	FaultyVal  float64
+
+	FieldName string // field owning the flipped bit: sign/regime/exponent/fraction
+	RegimeK   int    // posit regime run length of OrigBits (0 for IEEE formats)
+
+	AbsErr       float64
+	RelErr       float64
+	Catastrophic bool // faulty value decoded to NaN/Inf/NaR (or orig was 0)
+}
+
+// Result is a completed campaign over one (field, codec) pair.
+type Result struct {
+	Field    string
+	Codec    string
+	N        int // dataset length
+	Baseline stats.Summary
+	Trials   []Trial
+}
+
+// Run executes the campaign for one codec over one data array.
+// data holds the field values (float32-exact, widened); fieldKey is
+// recorded in every trial.
+func Run(cfg Config, codec numfmt.Codec, fieldKey string, data []float64) (*Result, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty dataset for %s", fieldKey)
+	}
+	if cfg.TrialsPerBit <= 0 {
+		return nil, fmt.Errorf("core: TrialsPerBit must be positive, got %d", cfg.TrialsPerBit)
+	}
+	if cfg.MaxSelectAttempts <= 0 {
+		cfg.MaxSelectAttempts = 64
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	width := codec.Width()
+	res := &Result{
+		Field:    fieldKey,
+		Codec:    codec.Name(),
+		N:        len(data),
+		Baseline: stats.Summarize(data),
+		Trials:   make([]Trial, width*cfg.TrialsPerBit),
+	}
+
+	// One job per bit position; each worker fills a disjoint slice of
+	// the result, so no synchronization beyond the channel is needed
+	// (Effective Go's fixed-pool Serve pattern).
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bit := range jobs {
+				out := res.Trials[bit*cfg.TrialsPerBit : (bit+1)*cfg.TrialsPerBit]
+				runBit(cfg, codec, fieldKey, data, bit, out)
+			}
+		}()
+	}
+	for bit := 0; bit < width; bit++ {
+		jobs <- bit
+	}
+	close(jobs)
+	wg.Wait()
+	return res, nil
+}
+
+// runBit executes all trials for one bit position.
+func runBit(cfg Config, codec numfmt.Codec, fieldKey string, data []float64, bit int, out []Trial) {
+	sizer, hasRegime := codec.(numfmt.RegimeSizer)
+	for seq := range out {
+		rng := sdrbench.NewRNG(cfg.Seed, fieldKey, codec.Name(),
+			"bit"+strconv.Itoa(bit), strconv.Itoa(seq))
+		idx := rng.Intn(len(data))
+		if cfg.SkipZeros {
+			for attempt := 0; data[idx] == 0 && attempt < cfg.MaxSelectAttempts; attempt++ {
+				idx = rng.Intn(len(data))
+			}
+		}
+		orig := data[idx]
+
+		tr := &out[seq]
+		tr.Field = fieldKey
+		tr.Codec = codec.Name()
+		tr.Bit = bit
+		tr.Seq = seq
+		tr.Index = idx
+		tr.OrigValue = orig
+
+		tr.OrigBits = codec.Encode(orig)
+		tr.ReprValue = codec.Decode(tr.OrigBits)
+		tr.FaultyBits = bitflip.Flip(tr.OrigBits, bit)
+		tr.FaultyVal = codec.Decode(tr.FaultyBits)
+		tr.FieldName = codec.FieldAt(tr.OrigBits, bit)
+		if hasRegime {
+			tr.RegimeK = sizer.RegimeK(tr.OrigBits)
+		}
+
+		p := qcat.Point(orig, tr.FaultyVal)
+		tr.AbsErr = p.AbsErr
+		tr.RelErr = p.RelErr
+		tr.Catastrophic = p.Catastrophic
+	}
+}
+
+// RunAll executes the campaign for several codecs over the same data,
+// returning results keyed in input order.
+func RunAll(cfg Config, codecs []numfmt.Codec, fieldKey string, data []float64) ([]*Result, error) {
+	out := make([]*Result, 0, len(codecs))
+	for _, c := range codecs {
+		r, err := Run(cfg, c, fieldKey, data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FaultyArrayStats returns the summary statistics of the dataset with
+// one trial's corruption applied — the "summary statistics of the
+// faulty data" step of §4.2 — computed incrementally from the baseline
+// in O(1) for the mean and O(n) only when the extremes are displaced.
+func FaultyArrayStats(base stats.Summary, data []float64, tr Trial) stats.Summary {
+	out := base
+	if tr.Index < 0 || tr.Index >= len(data) {
+		return out
+	}
+	old := data[tr.Index]
+	nv := tr.FaultyVal
+	if math.IsNaN(nv) || math.IsInf(nv, 0) {
+		// Special values are excluded from moments (see stats): the
+		// faulty array loses one element.
+		tmp := make([]float64, len(data))
+		copy(tmp, data)
+		tmp[tr.Index] = nv
+		return stats.Summarize(tmp)
+	}
+	n := float64(base.Count)
+	out.Mean = base.Mean + (nv-old)/n
+	switch {
+	case nv > base.Max:
+		out.Max = nv
+	case old == base.Max && nv < old:
+		out.Max = recompute(data, tr.Index, nv, true)
+	}
+	switch {
+	case nv < base.Min:
+		out.Min = nv
+	case old == base.Min && nv > old:
+		out.Min = recompute(data, tr.Index, nv, false)
+	}
+	// Variance shift via sum-of-squares update.
+	m2 := base.Std*base.Std*n + (nv*nv - old*old) - (out.Mean*out.Mean-base.Mean*base.Mean)*n
+	if m2 < 0 {
+		m2 = 0
+	}
+	out.Std = math.Sqrt(m2 / n)
+	// The median of a single-element substitution moves at most one
+	// order statistic; recompute exactly (O(n) but rarely needed).
+	tmp := make([]float64, len(data))
+	copy(tmp, data)
+	tmp[tr.Index] = nv
+	out.Median = stats.Median(tmp)
+	return out
+}
+
+func recompute(data []float64, skip int, replacement float64, wantMax bool) float64 {
+	best := replacement
+	for i, v := range data {
+		if i == skip || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if wantMax && v > best || !wantMax && v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// trialHeader is the CSV schema, mirroring the paper's "write them to
+// a log file in CSV form for offline analysis" step.
+var trialHeader = []string{
+	"field", "codec", "bit", "seq", "index",
+	"orig_value", "repr_value", "orig_bits", "faulty_bits", "faulty_value",
+	"bit_field", "regime_k", "abs_err", "rel_err", "catastrophic",
+}
+
+// WriteTrialsCSV streams trials to w as CSV with a header row.
+func WriteTrialsCSV(w io.Writer, trials []Trial) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(trialHeader); err != nil {
+		return fmt.Errorf("core: csv header: %w", err)
+	}
+	row := make([]string, len(trialHeader))
+	for i := range trials {
+		tr := &trials[i]
+		row[0] = tr.Field
+		row[1] = tr.Codec
+		row[2] = strconv.Itoa(tr.Bit)
+		row[3] = strconv.Itoa(tr.Seq)
+		row[4] = strconv.Itoa(tr.Index)
+		row[5] = strconv.FormatFloat(tr.OrigValue, 'g', -1, 64)
+		row[6] = strconv.FormatFloat(tr.ReprValue, 'g', -1, 64)
+		row[7] = strconv.FormatUint(tr.OrigBits, 16)
+		row[8] = strconv.FormatUint(tr.FaultyBits, 16)
+		row[9] = strconv.FormatFloat(tr.FaultyVal, 'g', -1, 64)
+		row[10] = tr.FieldName
+		row[11] = strconv.Itoa(tr.RegimeK)
+		row[12] = strconv.FormatFloat(tr.AbsErr, 'g', -1, 64)
+		row[13] = strconv.FormatFloat(tr.RelErr, 'g', -1, 64)
+		row[14] = strconv.FormatBool(tr.Catastrophic)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrialsCSV parses a trial log written by WriteTrialsCSV.
+func ReadTrialsCSV(r io.Reader) ([]Trial, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(trialHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: csv header: %w", err)
+	}
+	for i, h := range trialHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("core: csv header mismatch at column %d: %q", i, header[i])
+		}
+	}
+	var out []Trial
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: csv line %d: %w", line, err)
+		}
+		var tr Trial
+		tr.Field, tr.Codec = row[0], row[1]
+		if tr.Bit, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fmt.Errorf("core: csv line %d bit: %w", line, err)
+		}
+		if tr.Seq, err = strconv.Atoi(row[3]); err != nil {
+			return nil, fmt.Errorf("core: csv line %d seq: %w", line, err)
+		}
+		if tr.Index, err = strconv.Atoi(row[4]); err != nil {
+			return nil, fmt.Errorf("core: csv line %d index: %w", line, err)
+		}
+		if tr.OrigValue, err = strconv.ParseFloat(row[5], 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d orig_value: %w", line, err)
+		}
+		if tr.ReprValue, err = strconv.ParseFloat(row[6], 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d repr_value: %w", line, err)
+		}
+		if tr.OrigBits, err = strconv.ParseUint(row[7], 16, 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d orig_bits: %w", line, err)
+		}
+		if tr.FaultyBits, err = strconv.ParseUint(row[8], 16, 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d faulty_bits: %w", line, err)
+		}
+		if tr.FaultyVal, err = strconv.ParseFloat(row[9], 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d faulty_value: %w", line, err)
+		}
+		tr.FieldName = row[10]
+		if tr.RegimeK, err = strconv.Atoi(row[11]); err != nil {
+			return nil, fmt.Errorf("core: csv line %d regime_k: %w", line, err)
+		}
+		if tr.AbsErr, err = strconv.ParseFloat(row[12], 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d abs_err: %w", line, err)
+		}
+		if tr.RelErr, err = strconv.ParseFloat(row[13], 64); err != nil {
+			return nil, fmt.Errorf("core: csv line %d rel_err: %w", line, err)
+		}
+		if tr.Catastrophic, err = strconv.ParseBool(row[14]); err != nil {
+			return nil, fmt.Errorf("core: csv line %d catastrophic: %w", line, err)
+		}
+		out = append(out, tr)
+	}
+}

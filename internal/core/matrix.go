@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+)
+
+// MatrixJob is one (field, format) campaign of a sweep — the unit the
+// paper schedules "in parallel across different compute nodes in a
+// cluster" (§4.1). Data is synthesized per job from (Field, N, Seed),
+// so jobs are self-contained and deterministic.
+type MatrixJob struct {
+	Field sdrbench.Field
+	Codec numfmt.Codec
+	N     int    // synthetic elements to generate
+	Seed  uint64 // data-generation seed
+}
+
+// RunMatrix executes the jobs with at most `parallel` concurrent
+// campaigns (0 = GOMAXPROCS). Results arrive in job order regardless
+// of scheduling; the first error aborts remaining jobs.
+func RunMatrix(cfg Config, jobs []MatrixJob, parallel int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	// Inner campaigns are already parallel; bound the outer pool so
+	// total goroutines stay proportional to the machine.
+	inner := cfg
+	if inner.Workers <= 0 {
+		inner.Workers = (runtime.GOMAXPROCS(0) + parallel - 1) / parallel
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := jobs[i]
+				if job.N <= 0 {
+					errs[i] = fmt.Errorf("core: job %d (%s/%s): non-positive N",
+						i, job.Field.Key(), job.Codec.Name())
+					continue
+				}
+				data := sdrbench.ToFloat64(job.Field.Generate(job.N, job.Seed))
+				results[i], errs[i] = Run(inner, job.Codec, job.Field.Key(), data)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: matrix job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// FullSweepJobs builds the paper's complete campaign: every Table 1
+// field crossed with every listed format.
+func FullSweepJobs(codecNames []string, n int, seed uint64) ([]MatrixJob, error) {
+	var jobs []MatrixJob
+	for _, f := range sdrbench.Fields() {
+		for _, name := range codecNames {
+			c, err := numfmt.Lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, MatrixJob{Field: f, Codec: c, N: n, Seed: seed})
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,47 @@
+package figures
+
+import (
+	"fmt"
+
+	"positres/internal/checkpoint"
+	"positres/internal/kernels"
+	"positres/internal/textplot"
+)
+
+// CheckpointTable runs the checkpoint/restart experiment (paper refs
+// [37], [23]): a catastrophic mid-solve flip under three protection
+// regimes — none, checkpoint/restart, SEC-DED — comparing the final
+// solution error and the recovery cost.
+func CheckpointTable(b Budget) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"codec", "protection", "solution err", "rollbacks", "iters",
+	}}
+	p := kernels.NewProblem(48)
+	const maxIters, interval = 600, 25
+	for _, name := range []string{"posit32", "ieee32"} {
+		codec := mustCodec(name)
+		inj := kernels.Injection{Iter: 100, Index: 20, Bit: 30}
+
+		bare, err := p.Jacobi(codec, maxIters, 0, &inj, false)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, "none", fmt.Sprintf("%.3g", bare.SolutionErr), "-",
+			fmt.Sprintf("%d", bare.Iters))
+
+		guarded, err := checkpoint.GuardedJacobi(p, codec, maxIters, interval, 1.01, &inj)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, "checkpoint/restart", fmt.Sprintf("%.3g", guarded.SolutionErr),
+			fmt.Sprintf("%d", guarded.Rollbacks), fmt.Sprintf("%d", guarded.Iters))
+
+		ecc, err := p.Jacobi(codec, maxIters, 0, &inj, true)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(name, "SEC-DED", fmt.Sprintf("%.3g", ecc.SolutionErr), "-",
+			fmt.Sprintf("%d", ecc.Iters))
+	}
+	return t
+}

@@ -1,0 +1,92 @@
+package figures
+
+import (
+	"fmt"
+
+	"positres/internal/detect"
+	"positres/internal/sdrbench"
+	"positres/internal/textplot"
+)
+
+// DetectionChart plots the per-bit detection rate of an impact-driven
+// SDC detector (the paper's ref [19]) over a smooth field proxy, for
+// posit32 vs ieee32 — detectability is the flip side of the paper's
+// impact analysis.
+func DetectionChart(b Budget) *textplot.LineChart {
+	data := detectField(b)
+	trials := b.TrialsPerBit / 4
+	if trials < 8 {
+		trials = 8
+	}
+	c := &textplot.LineChart{
+		Title:  "Ext (ref [19]): impact-driven SDC detection rate per flipped bit",
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "detection rate",
+		Height: 20,
+	}
+	for _, name := range []string{"posit32", "ieee32"} {
+		out, err := detect.Sweep(mustCodec(name), data, trials, 1.2, b.Seed)
+		if err != nil {
+			panic(err)
+		}
+		s := textplot.Series{Name: name}
+		for _, o := range out {
+			s.X = append(s.X, float64(o.Bit))
+			s.Y = append(s.Y, o.DetectRate)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// DetectionTable summarizes detectability and the damage of what
+// escapes, per format.
+func DetectionTable(b Budget) *textplot.Table {
+	data := detectField(b)
+	trials := b.TrialsPerBit / 4
+	if trials < 8 {
+		trials = 8
+	}
+	t := &textplot.Table{Header: []string{
+		"codec", "upper-bit detect rate", "overall detect rate",
+		"worst missed rel err", "mean missed rel err (upper bits)",
+	}}
+	for _, name := range []string{"posit32", "ieee32"} {
+		out, err := detect.Sweep(mustCodec(name), data, trials, 1.2, b.Seed)
+		if err != nil {
+			panic(err)
+		}
+		var upRate, allRate, worstMissed, upMissed float64
+		upN, allN := 0, 0
+		for _, o := range out {
+			allRate += o.DetectRate
+			allN++
+			if o.MaxMissedRelErr > worstMissed {
+				worstMissed = o.MaxMissedRelErr
+			}
+			if o.Bit >= 24 && o.Bit <= 30 {
+				upRate += o.DetectRate
+				upMissed += o.MeanMissedRelErr
+				upN++
+			}
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.3f", upRate/float64(upN)),
+			fmt.Sprintf("%.3f", allRate/float64(allN)),
+			fmt.Sprintf("%.3g", worstMissed),
+			fmt.Sprintf("%.3g", upMissed/float64(upN)))
+	}
+	return t
+}
+
+func detectField(b Budget) []float64 {
+	f, err := sdrbench.Lookup("Hurricane/Pf48")
+	if err != nil {
+		panic(err)
+	}
+	n := b.DatasetN / 10
+	if n < 4000 {
+		n = 4000
+	}
+	return detect.SmoothProxy(f, n, b.Seed)
+}

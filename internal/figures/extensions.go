@@ -1,0 +1,166 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/core"
+	"positres/internal/textplot"
+)
+
+// This file implements the paper's future-work extensions (§6):
+// campaigns on 8/16/64-bit posits, multi-bit flips, and the legacy-es
+// ablation.
+
+// WidthSweep runs the campaign on posit8/16/32/64 (and the matching
+// IEEE widths where one exists), normalizing bit positions to [0,1] so
+// the curves of different widths are comparable.
+func WidthSweep(b Budget, key string) *textplot.LineChart {
+	c := &textplot.LineChart{
+		Title:  "Ext: mean relative error by normalized bit position across posit widths (" + key + ")",
+		XLabel: "bit position / width",
+		YLabel: "mean relative error",
+		LogY:   true,
+		Height: 24,
+	}
+	for _, name := range []string{"posit8", "posit16", "posit32", "posit64"} {
+		r := runField(b, name, key)
+		width := mustCodec(name).Width()
+		s := textplot.Series{Name: name}
+		for _, a := range core.AggregateByBit(r.Trials) {
+			s.X = append(s.X, float64(a.Bit)/float64(width-1))
+			s.Y = append(s.Y, a.MeanRelErr)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// MultiBitTable tabulates error statistics for 1-, 2- and 3-bit
+// simultaneous flips in posit32 vs ieee32.
+func MultiBitTable(b Budget, key string) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"codec", "flips", "trials", "catastrophic", "mean rel err", "median rel err",
+	}}
+	data := fieldData(b, key)
+	trials := b.TrialsPerBit * 8
+	for _, name := range []string{"posit32", "ieee32"} {
+		codec := mustCodec(name)
+		for flips := 1; flips <= 3; flips++ {
+			mt, err := core.RunMultiBit(b.campaignCfg(), codec, key, data, flips, trials)
+			if err != nil {
+				panic(err)
+			}
+			s := core.SummarizeMulti(mt)
+			t.AddRow(name, fmt.Sprintf("%d", flips), fmt.Sprintf("%d", s.Trials),
+				fmt.Sprintf("%d", s.Catastrophic),
+				fmt.Sprintf("%.3g", s.MeanRelErr), fmt.Sprintf("%.3g", s.MedianRelErr))
+		}
+	}
+	return t
+}
+
+// ESAblation compares the per-bit error of posit32 with legacy
+// exponent sizes es ∈ {0,1,3} against the standard es=2.
+func ESAblation(b Budget, key string) *textplot.LineChart {
+	c := &textplot.LineChart{
+		Title:  "Ablation: posit32 error per bit across exponent sizes (" + key + ")",
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "mean relative error",
+		LogY:   true,
+		Height: 24,
+	}
+	for _, name := range []string{"posit32es0", "posit32es1", "posit32", "posit32es3"} {
+		r := runField(b, name, key)
+		c.Series = append(c.Series, meanRelSeries(name, core.AggregateByBit(r.Trials)))
+	}
+	return c
+}
+
+// Findings summarizes the quantitative shape results (DESIGN.md §4)
+// for EXPERIMENTS.md: the numbers backing each paper-vs-measured row.
+type Findings struct {
+	Field string
+
+	IEEETopExpErr  float64 // max finite mean rel err, bits 28–30, ieee32
+	PositTopErr    float64 // max finite mean rel err, bits 24–30, posit32
+	AdvantageRatio float64 // IEEETopExpErr / PositTopErr
+
+	IEEESignRelErr     float64 // always exactly 2
+	PositExpMaxRelErr  float64 // ≤ 3 (×4 shift bound)
+	PositCatastrophes  int
+	IEEECatastrophes   int
+	FractionGrowthObey bool // fraction error grows toward MSB in both
+}
+
+// ComputeFindings runs the posit-vs-IEEE comparison on one field and
+// extracts the headline numbers.
+func ComputeFindings(b Budget, key string) Findings {
+	pR := runField(b, "posit32", key)
+	iR := runField(b, "ieee32", key)
+	f := Findings{Field: key}
+
+	pAgg := core.AggregateByBit(pR.Trials)
+	iAgg := core.AggregateByBit(iR.Trials)
+	maxIn := func(aggs []core.BitAgg, lo, hi int) float64 {
+		out := 0.0
+		for _, a := range aggs {
+			if a.Bit >= lo && a.Bit <= hi && !math.IsNaN(a.MeanRelErr) && !math.IsInf(a.MeanRelErr, 0) {
+				out = math.Max(out, a.MeanRelErr)
+			}
+		}
+		return out
+	}
+	f.IEEETopExpErr = maxIn(iAgg, 28, 30)
+	f.PositTopErr = maxIn(pAgg, 24, 30)
+	if f.PositTopErr > 0 {
+		f.AdvantageRatio = f.IEEETopExpErr / f.PositTopErr
+	}
+
+	f.IEEESignRelErr = math.NaN()
+	for _, a := range iAgg {
+		if a.Bit == 31 {
+			f.IEEESignRelErr = a.MeanRelErr
+		}
+	}
+	for _, tr := range pR.Trials {
+		if tr.FieldName == "exponent" && !tr.Catastrophic {
+			f.PositExpMaxRelErr = math.Max(f.PositExpMaxRelErr, tr.RelErr)
+		}
+	}
+	count := func(trials []core.Trial) int {
+		n := 0
+		for _, tr := range trials {
+			if tr.Catastrophic {
+				n++
+			}
+		}
+		return n
+	}
+	f.PositCatastrophes = count(pR.Trials)
+	f.IEEECatastrophes = count(iR.Trials)
+	lo := maxIn(pAgg, 0, 2)
+	hi := maxIn(pAgg, 15, 18)
+	iLo := maxIn(iAgg, 0, 2)
+	iHi := maxIn(iAgg, 15, 18)
+	f.FractionGrowthObey = hi > lo && iHi > iLo
+	return f
+}
+
+// FindingsTable renders findings rows for several fields.
+func FindingsTable(b Budget, keys []string) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"field", "ieee exp err", "posit top err", "advantage", "ieee sign",
+		"posit exp max", "catastrophic p/i", "frac growth",
+	}}
+	for _, key := range keys {
+		f := ComputeFindings(b, key)
+		t.AddRow(f.Field,
+			fmt.Sprintf("%.3g", f.IEEETopExpErr), fmt.Sprintf("%.3g", f.PositTopErr),
+			fmt.Sprintf("%.2gx", f.AdvantageRatio), fmt.Sprintf("%.3g", f.IEEESignRelErr),
+			fmt.Sprintf("%.3g", f.PositExpMaxRelErr),
+			fmt.Sprintf("%d/%d", f.PositCatastrophes, f.IEEECatastrophes),
+			fmt.Sprintf("%v", f.FractionGrowthObey))
+	}
+	return t
+}

@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/inference"
+	"positres/internal/textplot"
+)
+
+// MLFlipChart reproduces the Alouani et al. experiment (the paper's
+// ref [8]): mean relative error distance of a neural network's outputs
+// per flipped weight-bit position, posit32 vs ieee32 storage.
+func MLFlipChart(b Budget) *textplot.LineChart {
+	m, ds := trainedModel(b)
+	trials := b.TrialsPerBit / 8
+	if trials < 3 {
+		trials = 3
+	}
+	c := &textplot.LineChart{
+		Title:  "Ext (ref [8]): MLP logit MRED per flipped weight bit",
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "mean relative error distance",
+		LogY:   true,
+		Height: 22,
+	}
+	for _, name := range []string{"posit32", "ieee32"} {
+		imps := inference.WeightFlipCampaign(m, mustCodec(name), ds, trials, b.Seed)
+		s := textplot.Series{Name: name}
+		for _, im := range imps {
+			s.X = append(s.X, float64(im.Bit))
+			s.Y = append(s.Y, im.MeanMRED)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// MLImpactTable summarizes the campaign: worst-bit MRED, accuracy drop
+// and misclassification rate per format.
+func MLImpactTable(b Budget) *textplot.Table {
+	m, ds := trainedModel(b)
+	trials := b.TrialsPerBit / 8
+	if trials < 3 {
+		trials = 3
+	}
+	t := &textplot.Table{Header: []string{
+		"codec", "clean acc", "worst MRED", "worst acc drop", "worst misclass rate", "worst bit",
+	}}
+	cleanAcc := m.Accuracy(ds)
+	for _, name := range []string{"posit32", "ieee32", "posit16", "ieee16"} {
+		imps := inference.WeightFlipCampaign(m, mustCodec(name), ds, trials, b.Seed)
+		var mred, drop, mis float64
+		worstBit := 0
+		for _, im := range imps {
+			if im.MeanMRED > mred && !math.IsInf(im.MeanMRED, 0) {
+				mred = im.MeanMRED
+				worstBit = im.Bit
+			}
+			if im.AccuracyDrop > drop {
+				drop = im.AccuracyDrop
+			}
+			if im.Misclass > mis {
+				mis = im.Misclass
+			}
+		}
+		t.AddRow(name, fmt.Sprintf("%.3f", cleanAcc), fmt.Sprintf("%.3g", mred),
+			fmt.Sprintf("%.3f", drop), fmt.Sprintf("%.3f", mis), fmt.Sprintf("%d", worstBit))
+	}
+	return t
+}
+
+func trainedModel(b Budget) (*inference.MLP, *inference.Dataset) {
+	n := b.DatasetN / 200
+	if n < 150 {
+		n = 150
+	}
+	if n > 600 {
+		n = 600
+	}
+	ds := inference.SyntheticClusters(b.Seed, 3, 4, n)
+	m := inference.Train(b.Seed, ds, 12, 30, 0.05)
+	return m, ds
+}

@@ -1,0 +1,71 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/sdrbench"
+	"positres/internal/textplot"
+)
+
+// RepresentationTable quantifies the conversion (representation) error
+// each format imposes on each Table 1 field — the baseline the paper's
+// §4.1.2 acknowledges ("conversion ... introduces a relative error")
+// and the practical face of Fig. 7: posits beat binary32 where values
+// sit in the golden zone around |v| = 1 (CESM CLOUD), tie on moderate
+// fields, and lose catastrophically far outside it (EXAFEL's 1e-35
+// dark frames, where posit32 keeps barely one significant digit).
+func RepresentationTable(b Budget) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"field", "posit32 mean rel", "posit32 max rel", "ieee32 mean rel", "ieee32 max rel", "winner",
+	}}
+	pc, ic := mustCodec("posit32"), mustCodec("ieee32")
+	n := b.DatasetN / 20
+	if n < 5000 {
+		n = 5000
+	}
+	for _, f := range sdrbench.Fields() {
+		data := sdrbench.ToFloat64(f.Generate(n, b.Seed))
+		pMean, pMax := reprError(pc.Encode, pc.Decode, data)
+		iMean, iMax := reprError(ic.Encode, ic.Decode, data)
+		winner := "posit32"
+		switch {
+		case math.IsNaN(pMean) || pMean > iMean*1.2:
+			winner = "ieee32"
+		case iMean > pMean*1.2:
+			winner = "posit32"
+		default:
+			winner = "tie"
+		}
+		t.AddRow(f.Key(),
+			fmt.Sprintf("%.3g", pMean), fmt.Sprintf("%.3g", pMax),
+			fmt.Sprintf("%.3g", iMean), fmt.Sprintf("%.3g", iMax), winner)
+	}
+	return t
+}
+
+// reprError measures mean and max relative round-trip error over the
+// nonzero elements. Note the source data is float32-exact, so ieee32's
+// error is exactly zero — the comparison shows what converting a
+// float32 pipeline to posits costs, which is precisely the paper's
+// setup (float32 datasets converted via convertFloatToP32).
+func reprError(encode func(float64) uint64, decode func(uint64) float64, data []float64) (mean, max float64) {
+	var sum float64
+	n := 0
+	for _, v := range data {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		r := decode(encode(v))
+		rel := math.Abs(v-r) / math.Abs(v)
+		sum += rel
+		n++
+		if rel > max {
+			max = rel
+		}
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return sum / float64(n), max
+}

@@ -1,0 +1,49 @@
+package figures
+
+import (
+	"fmt"
+
+	"positres/internal/core"
+	"positres/internal/textplot"
+)
+
+// SDCChart plots P(relative error > τ) per bit position — the
+// tail-probability view of Fig. 10 that resilience studies report:
+// how likely a flip at each bit is to corrupt the value beyond an
+// application's tolerance.
+func SDCChart(b Budget, tau float64) *textplot.LineChart {
+	c := &textplot.LineChart{
+		Title:  fmt.Sprintf("Ext: P(rel err > %g) per flipped bit (CESM/RELHUM)", tau),
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "corruption probability",
+		Height: 20,
+	}
+	for _, name := range []string{"posit32", "ieee32"} {
+		r := runField(b, name, "CESM/RELHUM")
+		s := textplot.Series{Name: name}
+		for _, pt := range core.SDCProbability(r.Trials, tau) {
+			s.X = append(s.X, float64(pt.Bit))
+			s.Y = append(s.Y, pt.Prob)
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// SDCTable tabulates the overall corruption probability at several
+// tolerances.
+func SDCTable(b Budget) *textplot.Table {
+	taus := []float64{1e-6, 1e-3, 1, 1e6}
+	t := &textplot.Table{Header: []string{
+		"codec", "P(>1e-6)", "P(>1e-3)", "P(>1)", "P(>1e6)",
+	}}
+	for _, name := range []string{"posit32", "ieee32"} {
+		r := runField(b, name, "CESM/RELHUM")
+		row := []string{name}
+		for _, tau := range taus {
+			row = append(row, fmt.Sprintf("%.4f", core.OverallSDCRate(r.Trials, tau)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+package figures
+
+import (
+	"fmt"
+
+	"positres/internal/sdrbench"
+	"positres/internal/softerr"
+	"positres/internal/textplot"
+)
+
+// SoftErrorTable runs the Poisson soft-error-rate simulation (paper
+// §3.3 turned quantitative): a resident array under a DRAM-class FIT
+// rate, comparing the expected corruption of posit vs IEEE storage per
+// residency epoch.
+func SoftErrorTable(b Budget) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"codec", "field", "λ/epoch", "mean upsets", "mean max rel err", "worst rel err", "catastrophe rate",
+	}}
+	fields := []string{"Hurricane/Vf30", "Nyx/temperature"}
+	const (
+		fit    = 1e4 // FIT/bit, accelerated for Monte Carlo resolution
+		hours  = 1.0
+		epochs = 200
+	)
+	for _, key := range fields {
+		f, err := sdrbench.Lookup(key)
+		if err != nil {
+			panic(err)
+		}
+		n := b.DatasetN / 10
+		if n < 1000 {
+			n = 1000
+		}
+		data := sdrbench.ToFloat64(f.Generate(n, b.Seed))
+		for _, codecName := range []string{"posit32", "ieee32"} {
+			codec := mustCodec(codecName)
+			m := softerr.Model{FITPerBit: fit, Seed: b.Seed}
+			res, err := softerr.Simulate(m, codec, data, hours, epochs)
+			if err != nil {
+				panic(err)
+			}
+			s := softerr.Summarize(res)
+			lambda := m.ExpectedUpsets(len(data)*codec.Width(), hours)
+			t.AddRow(codecName, key,
+				fmt.Sprintf("%.3g", lambda),
+				fmt.Sprintf("%.3g", s.MeanUpsets),
+				fmt.Sprintf("%.3g", s.MeanMaxRelErr),
+				fmt.Sprintf("%.3g", s.WorstRelErr),
+				fmt.Sprintf("%.4f", s.CatastropheRate))
+		}
+	}
+	return t
+}

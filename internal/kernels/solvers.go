@@ -1,0 +1,236 @@
+package kernels
+
+import (
+	"math"
+
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+)
+
+// Injection schedules a single bit flip during a solve: before
+// iteration Iter, flip bit Bit of element Index of the solution
+// vector — the paper's fault model applied mid-computation.
+type Injection struct {
+	Iter  int
+	Index int
+	Bit   int
+}
+
+// SolveResult reports a solver run.
+type SolveResult struct {
+	// Iters actually executed.
+	Iters int
+	// FinalResidual is ‖b − Ax‖₂ at exit.
+	FinalResidual float64
+	// SolutionErr is ‖x − x*‖₂ against the known discrete solution.
+	SolutionErr float64
+	// Diverged marks NaN/Inf contamination of the solution.
+	Diverged bool
+	// Corrected counts ECC repairs (protected arrays only).
+	Corrected int
+}
+
+// Problem builds the standard test system A x = b on the 1-D Poisson
+// operator with a manufactured solution mixing a smooth mode with a
+// golden-angle pseudo-random component (so x* is not an eigenvector
+// and CG needs a realistic number of iterations).
+type Problem struct {
+	Op    Poisson1D
+	XStar []float64
+	B     []float64
+}
+
+// NewProblem constructs the n-point system.
+func NewProblem(n int) *Problem {
+	p := &Problem{Op: Poisson1D{N: n}}
+	p.XStar = make([]float64, n)
+	for i := range p.XStar {
+		p.XStar[i] = math.Sin(math.Pi*float64(i+1)/float64(n+1)) +
+			0.3*math.Sin(2.39996322972865332*float64(i+1))
+	}
+	// b = A·x* computed exactly in float64.
+	p.B = make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := 2 * p.XStar[i]
+		if i > 0 {
+			v -= p.XStar[i-1]
+		}
+		if i < n-1 {
+			v -= p.XStar[i+1]
+		}
+		p.B[i] = v
+	}
+	return p
+}
+
+func (p *Problem) solutionErr(x *Array) float64 {
+	var s float64
+	for i := 0; i < x.Len(); i++ {
+		d := x.Load(i) - p.XStar[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// newStateArray allocates a solver vector in the format, optionally
+// SEC-DED protected.
+func newStateArray(codec numfmt.Codec, data []float64, protected bool) (*Array, error) {
+	if protected {
+		return NewProtectedArray(codec, data)
+	}
+	return NewArray(codec, data), nil
+}
+
+// Jacobi runs the (self-correcting, stationary) Jacobi iteration
+// x ← (b + x_left + x_right) / 2 for maxIters or until the residual
+// drops below tol. The solution vector is stored in the given format;
+// inject, when non-nil, flips one stored bit mid-solve.
+func (p *Problem) Jacobi(codec numfmt.Codec, maxIters int, tol float64, inject *Injection, protected bool) (SolveResult, error) {
+	n := p.Op.N
+	x, err := newStateArray(codec, make([]float64, n), protected)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	xNew, err := newStateArray(codec, make([]float64, n), protected)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	b := NewArray(codec, p.B)
+	r := NewArray(codec, make([]float64, n))
+
+	var res SolveResult
+	for it := 0; it < maxIters; it++ {
+		if inject != nil && it == inject.Iter {
+			x.InjectBitFlip(inject.Index, inject.Bit)
+		}
+		for i := 0; i < n; i++ {
+			v := b.Load(i)
+			if i > 0 {
+				v += x.Load(i - 1)
+			}
+			if i < n-1 {
+				v += x.Load(i + 1)
+			}
+			xNew.Store(i, v/2)
+		}
+		x, xNew = xNew, x
+		res.Iters = it + 1
+		if it%16 == 15 || it == maxIters-1 {
+			rn := p.Op.Residual(b, x, r)
+			if math.IsNaN(rn) || math.IsInf(rn, 0) {
+				res.Diverged = true
+				break
+			}
+			if rn < tol {
+				break
+			}
+		}
+	}
+	res.FinalResidual = p.Op.Residual(b, x, r)
+	res.SolutionErr = p.solutionErr(x)
+	res.Diverged = res.Diverged || math.IsNaN(res.FinalResidual) || math.IsInf(res.FinalResidual, 0)
+	res.Corrected = x.Corrected + xNew.Corrected
+	return res, nil
+}
+
+// CG runs (non-restarted) conjugate gradient — which, unlike Jacobi,
+// is *not* self-correcting: a fault that breaks the Krylov recurrences
+// can permanently stall or derail convergence (the GMRES observation
+// of the paper's ref [20]).
+func (p *Problem) CG(codec numfmt.Codec, maxIters int, tol float64, inject *Injection, protected bool) (SolveResult, error) {
+	n := p.Op.N
+	x, err := newStateArray(codec, make([]float64, n), protected)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	b := NewArray(codec, p.B)
+	r := NewArray(codec, p.B) // r = b − A·0 = b
+	pv := NewArray(codec, p.B)
+	ap := NewArray(codec, make([]float64, n))
+
+	rsOld := Dot(r, r)
+	var res SolveResult
+	for it := 0; it < maxIters; it++ {
+		if inject != nil && it == inject.Iter {
+			x.InjectBitFlip(inject.Index, inject.Bit)
+		}
+		p.Op.Apply(pv, ap)
+		den := Dot(pv, ap)
+		if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+			res.Diverged = true
+			break
+		}
+		alpha := rsOld / den
+		AXPY(alpha, pv, x)
+		AXPY(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		res.Iters = it + 1
+		if math.IsNaN(rsNew) || math.IsInf(rsNew, 0) {
+			res.Diverged = true
+			break
+		}
+		if math.Sqrt(rsNew) < tol {
+			break
+		}
+		beta := rsNew / rsOld
+		for i := 0; i < n; i++ {
+			pv.Store(i, r.Load(i)+beta*pv.Load(i))
+		}
+		rsOld = rsNew
+	}
+	tmp := NewArray(codec, make([]float64, n))
+	res.FinalResidual = p.Op.Residual(b, x, tmp)
+	res.SolutionErr = p.solutionErr(x)
+	res.Diverged = res.Diverged || math.IsNaN(res.FinalResidual) || math.IsInf(res.FinalResidual, 0)
+	res.Corrected = x.Corrected
+	return res, nil
+}
+
+// ImpactRow compares the end-to-end effect of one mid-solve flip.
+type ImpactRow struct {
+	Codec     string
+	Solver    string
+	Bit       int
+	Protected bool
+	Clean     SolveResult
+	Faulty    SolveResult
+	// ErrInflation = faulty solution error / clean solution error.
+	ErrInflation float64
+}
+
+// SolverImpact runs the clean and faulted solves for one configuration.
+func SolverImpact(p *Problem, codec numfmt.Codec, solver string, maxIters int, tol float64, inj Injection, protected bool) (ImpactRow, error) {
+	run := func(in *Injection) (SolveResult, error) {
+		if solver == "cg" {
+			return p.CG(codec, maxIters, tol, in, protected)
+		}
+		return p.Jacobi(codec, maxIters, tol, in, protected)
+	}
+	clean, err := run(nil)
+	if err != nil {
+		return ImpactRow{}, err
+	}
+	faulty, err := run(&inj)
+	if err != nil {
+		return ImpactRow{}, err
+	}
+	row := ImpactRow{
+		Codec: codec.Name(), Solver: solver, Bit: inj.Bit, Protected: protected,
+		Clean: clean, Faulty: faulty,
+	}
+	if clean.SolutionErr > 0 {
+		row.ErrInflation = faulty.SolutionErr / clean.SolutionErr
+	}
+	return row, nil
+}
+
+// RandomInjection derives a deterministic mid-solve injection from a
+// seed (bit position swept by the caller).
+func RandomInjection(seed uint64, n, maxIters, bit int) Injection {
+	rng := sdrbench.NewRNG(seed, "kernel-injection")
+	return Injection{
+		Iter:  maxIters / 3,
+		Index: rng.Intn(n),
+		Bit:   bit,
+	}
+}

@@ -1,0 +1,143 @@
+package posit
+
+import (
+	"math"
+	"math/bits"
+)
+
+// EncodeFloat64 converts an IEEE-754 float64 to the nearest posit of
+// the given configuration, following the rounding rules of the 2022
+// posit standard:
+//
+//   - round to nearest, ties to even, in the posit integer
+//     representation (guard/sticky on the trailing significand bits);
+//   - a nonzero value never rounds to zero: positive values below
+//     minpos saturate to minpos (and symmetrically for negatives);
+//   - finite values never round to NaR: magnitudes above maxpos
+//     saturate to maxpos;
+//   - ±0 encodes to 0; NaN and ±Inf encode to NaR.
+//
+// The returned pattern is right-aligned in the low N bits.
+func EncodeFloat64(cfg Config, x float64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return cfg.NaR()
+	}
+	neg := math.Signbit(x)
+	fb := math.Float64bits(math.Abs(x))
+	rawExp := int(fb >> 52)
+	man := fb & (1<<52 - 1)
+
+	var h int // unbiased base-2 scale: |x| = 2^h * (1 + man/2^52)
+	if rawExp == 0 {
+		// Subnormal float64: normalize the mantissa so its leading 1
+		// becomes the implicit bit.
+		shift := bits.LeadingZeros64(man) - 11 // man has <= 51 significant bits
+		man = (man << uint(shift+1)) & (1<<52 - 1)
+		h = -1022 - (shift + 1)
+	} else {
+		h = rawExp - 1023
+	}
+
+	p := assemble(cfg, h, man<<12, false) // significand tail left-aligned in 64 bits
+	if neg {
+		p = cfg.Negate(p)
+	}
+	return p
+}
+
+// assemble builds the posit bit pattern for the positive value
+// 2^h × (1 + tail/2^64), where tail holds the fraction bits of the
+// significand left-aligned in a uint64 and stickyIn is true when
+// further nonzero bits were discarded below the tail. It performs the
+// standard saturation and round-to-nearest-even. The result always has
+// a clear sign bit.
+func assemble(cfg Config, h int, tail uint64, stickyIn bool) uint64 {
+	maxScale := cfg.MaxScale()
+	if h >= maxScale {
+		return cfg.MaxPosBits()
+	}
+	if h < -maxScale {
+		return cfg.MinPosBits()
+	}
+
+	r := h >> uint(cfg.ES)               // regime value (floor division)
+	e := uint64(h - (r << uint(cfg.ES))) // exponent in [0, 2^ES)
+
+	// Build the payload stream MSB-first in a 128-bit accumulator
+	// (hi, lo), left-aligned at bit 127 of hi:lo:
+	//   regime bits ++ ES exponent bits ++ significand tail
+	var hi, lo uint64
+	var streamLen int // number of stream bits produced
+
+	pushBits := func(v uint64, width int) {
+		// Append the low `width` bits of v to the stream.
+		for width > 0 {
+			take := width
+			space := 128 - streamLen
+			if take > space {
+				take = space
+			}
+			if take <= 0 {
+				return
+			}
+			chunk := (v >> uint(width-take)) & maskN(take)
+			// Place chunk so its MSB lands at stream bit (127-streamLen).
+			shift := 128 - streamLen - take
+			if shift >= 64 {
+				hi |= chunk << uint(shift-64)
+			} else {
+				hi |= chunk >> uint(64-shift)
+				if shift > 0 {
+					lo |= chunk << uint(shift)
+				} else {
+					lo |= chunk
+				}
+			}
+			streamLen += take
+			width -= take
+		}
+	}
+
+	// Regime.
+	if r >= 0 {
+		pushBits(maskN(r+1), r+1) // r+1 ones
+		pushBits(0, 1)            // terminating zero
+	} else {
+		pushBits(0, -r) // -r zeros
+		pushBits(1, 1)  // terminating one
+	}
+	// Exponent.
+	if cfg.ES > 0 {
+		pushBits(e, cfg.ES)
+	}
+	// Significand tail (64 bits).
+	pushBits(tail, 64)
+
+	// The posit payload is the top n-1 stream bits; the next bit is the
+	// guard, everything below contributes to sticky.
+	pn := cfg.N - 1
+	payload := hi >> uint(64-pn)
+	guard := (hi >> uint(64-pn-1)) & 1
+	stickyBits := lo != 0 || stickyIn
+	if 64-pn-1 > 0 {
+		stickyBits = stickyBits || hi&maskN(64-pn-1) != 0
+	}
+
+	if guard == 1 && (stickyBits || payload&1 == 1) {
+		payload++
+	}
+	// payload cannot overflow into the sign bit: an all-ones payload
+	// implies h >= maxScale, which saturated above.
+	return payload
+}
+
+// maskN returns a mask of the low n bits (n in [0, 64]).
+func maskN(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}

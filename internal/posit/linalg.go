@@ -1,0 +1,57 @@
+package posit
+
+import "fmt"
+
+// Posit-native linear algebra built on the quire: every reduction is
+// exact with a single rounding per output element, so results are
+// bit-for-bit independent of loop order and blocking — the
+// reproducibility property the posit literature (and the paper's
+// introduction) advertises over IEEE-754.
+
+// GemmP32 computes C = A·B for row-major posit32 matrices
+// (A: m×n, B: n×p) with one quire per output element.
+func GemmP32(m, n, p int, a, b []Posit32) ([]Posit32, error) {
+	if len(a) != m*n || len(b) != n*p {
+		return nil, fmt.Errorf("posit: GemmP32 shape mismatch: A %d (%dx%d), B %d (%dx%d)",
+			len(a), m, n, len(b), n, p)
+	}
+	c := make([]Posit32, m*p)
+	q := NewQuire(Std32)
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			q.Zero()
+			for k := 0; k < n; k++ {
+				q.AddProduct(uint64(a[i*n+k]), uint64(b[k*p+j]))
+			}
+			c[i*p+j] = Posit32(q.ToPosit())
+		}
+	}
+	return c, nil
+}
+
+// MatVecP32 computes y = A·x (A: m×n row-major) with quire-exact rows.
+func MatVecP32(m, n int, a, x []Posit32) ([]Posit32, error) {
+	if len(a) != m*n || len(x) != n {
+		return nil, fmt.Errorf("posit: MatVecP32 shape mismatch")
+	}
+	y := make([]Posit32, m)
+	q := NewQuire(Std32)
+	for i := 0; i < m; i++ {
+		q.Zero()
+		for k := 0; k < n; k++ {
+			q.AddProduct(uint64(a[i*n+k]), uint64(x[k]))
+		}
+		y[i] = Posit32(q.ToPosit())
+	}
+	return y, nil
+}
+
+// Norm2P32 returns the Euclidean norm with a quire-exact sum of
+// squares and a single final rounding through Sqrt.
+func Norm2P32(x []Posit32) Posit32 {
+	q := NewQuire(Std32)
+	for _, v := range x {
+		q.AddProduct(uint64(v), uint64(v))
+	}
+	return Posit32(Sqrt(Std32, q.ToPosit()))
+}

@@ -1,0 +1,126 @@
+package posit
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func randP32s(rng *rand.Rand, n int) []Posit32 {
+	out := make([]Posit32, n)
+	for i := range out {
+		for {
+			b := uint32(rng.Uint64())
+			if uint64(b) != Std32.NaR() {
+				out[i] = P32FromBits(b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestGemmP32ExactRounding: every output element equals the exact
+// rational dot product rounded once.
+func TestGemmP32ExactRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	const m, n, p = 4, 5, 3
+	// Moderate magnitudes keep the exact rationals readable; the quire
+	// handles extremes (covered by quire tests).
+	a := make([]Posit32, m*n)
+	b := make([]Posit32, n*p)
+	for i := range a {
+		a[i] = P32FromFloat64(rng.NormFloat64() * 10)
+	}
+	for i := range b {
+		b[i] = P32FromFloat64(rng.NormFloat64() * 10)
+	}
+	c, err := GemmP32(m, n, p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			exact := new(big.Rat)
+			for k := 0; k < n; k++ {
+				exact.Add(exact, new(big.Rat).Mul(
+					ratFromPosit(Std32, uint64(a[i*n+k])),
+					ratFromPosit(Std32, uint64(b[k*p+j]))))
+			}
+			want := refRoundRat(Std32, exact)
+			if uint64(c[i*p+j]) != want {
+				t.Fatalf("C[%d,%d] = %#x, want %#x", i, j, c[i*p+j].Bits(), want)
+			}
+		}
+	}
+	if _, err := GemmP32(2, 2, 2, a[:3], b[:4]); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+// TestGemmOrderIndependence: transposed evaluation (B'·A')' gives the
+// bit-identical result, because each element is a single-rounded exact
+// sum.
+func TestGemmOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	const m, n, p = 6, 7, 5
+	a := randP32s(rng, m*n)
+	b := randP32s(rng, n*p)
+	c1, err := GemmP32(m, n, p, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transpose operands, multiply the other way, transpose back.
+	at := make([]Posit32, n*m)
+	for i := 0; i < m; i++ {
+		for k := 0; k < n; k++ {
+			at[k*m+i] = a[i*n+k]
+		}
+	}
+	bt := make([]Posit32, p*n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < p; j++ {
+			bt[j*n+k] = b[k*p+j]
+		}
+	}
+	ct, err := GemmP32(p, n, m, bt, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < p; j++ {
+			if c1[i*p+j] != ct[j*m+i] {
+				t.Fatalf("transposed evaluation differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatVecAndNorm(t *testing.T) {
+	a := []Posit32{
+		P32FromFloat64(1), P32FromFloat64(2),
+		P32FromFloat64(3), P32FromFloat64(4),
+	}
+	x := []Posit32{P32FromFloat64(5), P32FromFloat64(6)}
+	y, err := MatVecP32(2, 2, a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0].Float64() != 17 || y[1].Float64() != 39 {
+		t.Fatalf("matvec: %v %v", y[0].Float64(), y[1].Float64())
+	}
+	if _, err := MatVecP32(2, 2, a, x[:1]); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if got := Norm2P32([]Posit32{P32FromFloat64(3), P32FromFloat64(4)}).Float64(); got != 5 {
+		t.Fatalf("norm: %v", got)
+	}
+	// Norm of a cancellation-prone vector is still single-rounded:
+	// quire-exact sum of squares cannot go negative or lose terms.
+	big1 := P32FromFloat64(1e15)
+	tiny := P32FromFloat64(1)
+	n := Norm2P32([]Posit32{big1, tiny})
+	if n.Float64() < 1e15 {
+		t.Fatalf("norm lost the dominant term: %v", n.Float64())
+	}
+}

@@ -1,0 +1,133 @@
+package posit
+
+import "math"
+
+// Elementary functions over posits, evaluated through float64 and
+// rounded back into the format. For posit32 and narrower the float64
+// intermediate carries at least 24 more significand bits than the
+// posit result, so results are faithfully rounded (within 1 ulp, and
+// almost always correctly rounded); for posit64 the wide fractions
+// near |x| = 1 may lose up to 7 bits to double rounding. Domain
+// errors (log of a negative, etc.) yield NaR, matching the standard's
+// treatment of undefined results.
+
+// roundReal rounds a float64 function result into the posit format
+// with the posit saturation rules: results that overflowed float64 to
+// ±Inf saturate at ±maxpos (posits have no infinities).
+func roundReal(cfg Config, y float64) uint64 {
+	switch {
+	case math.IsNaN(y):
+		return cfg.NaR()
+	case math.IsInf(y, 1):
+		return cfg.MaxPosBits()
+	case math.IsInf(y, -1):
+		return cfg.Negate(cfg.MaxPosBits())
+	}
+	return EncodeFloat64(cfg, y)
+}
+
+func mathOp1(cfg Config, x uint64, f func(float64) float64) uint64 {
+	v := DecodeFloat64(cfg, x)
+	if math.IsNaN(v) {
+		return cfg.NaR()
+	}
+	return roundReal(cfg, f(v))
+}
+
+// Exp returns e^x rounded into the configuration. Like every posit
+// operation it never underflows to zero: deeply negative arguments
+// yield minpos (float64's own underflow to 0 is corrected).
+func Exp(cfg Config, x uint64) uint64 {
+	v := DecodeFloat64(cfg, x)
+	if math.IsNaN(v) {
+		return cfg.NaR()
+	}
+	y := math.Exp(v)
+	if y == 0 { // float64 underflow; e^x is strictly positive
+		return cfg.MinPosBits()
+	}
+	return roundReal(cfg, y)
+}
+
+// Log returns ln(x); NaR for x <= 0 or NaR.
+func Log(cfg Config, x uint64) uint64 {
+	v := DecodeFloat64(cfg, x)
+	if math.IsNaN(v) || v <= 0 {
+		return cfg.NaR()
+	}
+	return EncodeFloat64(cfg, math.Log(v))
+}
+
+// Log2 returns log₂(x); NaR for x <= 0 or NaR.
+func Log2(cfg Config, x uint64) uint64 {
+	v := DecodeFloat64(cfg, x)
+	if math.IsNaN(v) || v <= 0 {
+		return cfg.NaR()
+	}
+	return EncodeFloat64(cfg, math.Log2(v))
+}
+
+// Log10 returns log₁₀(x); NaR for x <= 0 or NaR.
+func Log10(cfg Config, x uint64) uint64 {
+	v := DecodeFloat64(cfg, x)
+	if math.IsNaN(v) || v <= 0 {
+		return cfg.NaR()
+	}
+	return EncodeFloat64(cfg, math.Log10(v))
+}
+
+// Sin returns sin(x).
+func Sin(cfg Config, x uint64) uint64 { return mathOp1(cfg, x, math.Sin) }
+
+// Cos returns cos(x).
+func Cos(cfg Config, x uint64) uint64 { return mathOp1(cfg, x, math.Cos) }
+
+// Tan returns tan(x).
+func Tan(cfg Config, x uint64) uint64 { return mathOp1(cfg, x, math.Tan) }
+
+// Atan returns arctan(x).
+func Atan(cfg Config, x uint64) uint64 { return mathOp1(cfg, x, math.Atan) }
+
+// Tanh returns tanh(x) (the activation function of the inference
+// workload).
+func Tanh(cfg Config, x uint64) uint64 { return mathOp1(cfg, x, math.Tanh) }
+
+// Pow returns x^y; NaR where math.Pow yields NaN (e.g. negative base
+// with fractional exponent).
+func Pow(cfg Config, x, y uint64) uint64 {
+	vx, vy := DecodeFloat64(cfg, x), DecodeFloat64(cfg, y)
+	if math.IsNaN(vx) || math.IsNaN(vy) {
+		return cfg.NaR()
+	}
+	return roundReal(cfg, math.Pow(vx, vy))
+}
+
+// Wrapper methods on the concrete types (posit32 is the width the
+// experiments use; others are provided for completeness).
+
+// Exp returns e^p.
+func (p Posit32) Exp() Posit32 { return Posit32(Exp(Std32, uint64(p))) }
+
+// Log returns ln(p), NaR for p <= 0.
+func (p Posit32) Log() Posit32 { return Posit32(Log(Std32, uint64(p))) }
+
+// Sin returns sin(p).
+func (p Posit32) Sin() Posit32 { return Posit32(Sin(Std32, uint64(p))) }
+
+// Cos returns cos(p).
+func (p Posit32) Cos() Posit32 { return Posit32(Cos(Std32, uint64(p))) }
+
+// Tanh returns tanh(p).
+func (p Posit32) Tanh() Posit32 { return Posit32(Tanh(Std32, uint64(p))) }
+
+// Pow returns p^q.
+func (p Posit32) Pow(q Posit32) Posit32 { return Posit32(Pow(Std32, uint64(p), uint64(q))) }
+
+// Exp returns e^p.
+func (p Posit16) Exp() Posit16 { return Posit16(Exp(Std16, uint64(p))) }
+
+// Log returns ln(p), NaR for p <= 0.
+func (p Posit16) Log() Posit16 { return Posit16(Log(Std16, uint64(p))) }
+
+// Tanh returns tanh(p).
+func (p Posit16) Tanh() Posit16 { return Posit16(Tanh(Std16, uint64(p))) }

@@ -1,0 +1,127 @@
+package posit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMathFunctionsFaithful: each function's posit result is within
+// one ulp of the correctly rounded value (faithful rounding), checked
+// by requiring the result to be one of the two posits bracketing the
+// float64 reference.
+func TestMathFunctionsFaithful(t *testing.T) {
+	cfg := Std32
+	rng := rand.New(rand.NewSource(83))
+	funcs := []struct {
+		name  string
+		posit func(Config, uint64) uint64
+		ref   func(float64) float64
+		dom   func(float64) bool
+	}{
+		{"exp", Exp, math.Exp, func(x float64) bool { return x < 80 && x > -80 }},
+		{"log", Log, math.Log, func(x float64) bool { return x > 0 }},
+		{"log2", Log2, math.Log2, func(x float64) bool { return x > 0 }},
+		{"log10", Log10, math.Log10, func(x float64) bool { return x > 0 }},
+		{"sin", Sin, math.Sin, func(x float64) bool { return math.Abs(x) < 100 }},
+		{"cos", Cos, math.Cos, func(x float64) bool { return math.Abs(x) < 100 }},
+		{"tan", Tan, math.Tan, func(x float64) bool { return math.Abs(x) < 100 }},
+		{"atan", Atan, math.Atan, func(x float64) bool { return true }},
+		{"tanh", Tanh, math.Tanh, func(x float64) bool { return true }},
+	}
+	for _, f := range funcs {
+		for i := 0; i < 5000; i++ {
+			x := math.Ldexp(rng.Float64()*2-1, rng.Intn(20)-10)
+			if !f.dom(x) {
+				continue
+			}
+			px := EncodeFloat64(cfg, x)
+			got := f.posit(cfg, px)
+			// Reference from the posit-rounded input (the function sees
+			// the representable value).
+			want := f.ref(DecodeFloat64(cfg, px))
+			lo := EncodeFloat64(cfg, want)
+			if got != lo && got != NextUp(cfg, lo) && got != NextDown(cfg, lo) {
+				t.Fatalf("%s(%g): got %v, reference %v", f.name,
+					DecodeFloat64(cfg, px), DecodeFloat64(cfg, got), want)
+			}
+		}
+	}
+}
+
+func TestMathDomainErrors(t *testing.T) {
+	cfg := Std32
+	neg := EncodeFloat64(cfg, -2)
+	if Log(cfg, neg) != cfg.NaR() || Log2(cfg, neg) != cfg.NaR() || Log10(cfg, neg) != cfg.NaR() {
+		t.Error("log of negative should be NaR")
+	}
+	if Log(cfg, 0) != cfg.NaR() {
+		t.Error("log(0) should be NaR (no -Inf in posits)")
+	}
+	if Exp(cfg, cfg.NaR()) != cfg.NaR() || Sin(cfg, cfg.NaR()) != cfg.NaR() {
+		t.Error("NaR propagation")
+	}
+	half := EncodeFloat64(cfg, 0.5)
+	if Pow(cfg, neg, half) != cfg.NaR() {
+		t.Error("(-2)^0.5 should be NaR")
+	}
+	if Pow(cfg, cfg.NaR(), half) != cfg.NaR() {
+		t.Error("NaR^y should be NaR")
+	}
+}
+
+func TestMathIdentities(t *testing.T) {
+	cfg := Std32
+	one := EncodeFloat64(cfg, 1)
+	if Log(cfg, one) != 0 {
+		t.Error("ln(1) != 0")
+	}
+	if Exp(cfg, 0) != one {
+		t.Error("e^0 != 1")
+	}
+	if Sin(cfg, 0) != 0 || Cos(cfg, 0) != one || Tan(cfg, 0) != 0 || Atan(cfg, 0) != 0 {
+		t.Error("trig at 0")
+	}
+	if Tanh(cfg, 0) != 0 {
+		t.Error("tanh(0)")
+	}
+	two := EncodeFloat64(cfg, 2)
+	if Log2(cfg, two) != one {
+		t.Error("log2(2) != 1")
+	}
+	if Log10(cfg, EncodeFloat64(cfg, 1000)) != EncodeFloat64(cfg, 3) {
+		t.Error("log10(1000) != 3")
+	}
+	if Pow(cfg, two, EncodeFloat64(cfg, 10)) != EncodeFloat64(cfg, 1024) {
+		t.Error("2^10 != 1024")
+	}
+	// Exp saturates instead of overflowing.
+	if Exp(cfg, EncodeFloat64(cfg, 1000)) != cfg.MaxPosBits() {
+		t.Error("exp(1000) should saturate at maxpos")
+	}
+	if Exp(cfg, EncodeFloat64(cfg, -1000)) != cfg.MinPosBits() {
+		t.Error("exp(-1000) should saturate at minpos")
+	}
+}
+
+func TestMathWrapperMethods(t *testing.T) {
+	p := P32FromFloat64(1)
+	if p.Exp().Float64() != Float64ToNearest(Std32, math.E) {
+		t.Error("p32 Exp")
+	}
+	if p.Log() != 0 || p.Sin().Float64() == 0 || p.Cos().Float64() == 0 {
+		t.Error("p32 log/trig")
+	}
+	if p.Tanh().Float64() != Float64ToNearest(Std32, math.Tanh(1)) {
+		t.Error("p32 Tanh")
+	}
+	if P32FromFloat64(2).Pow(P32FromFloat64(3)).Float64() != 8 {
+		t.Error("p32 Pow")
+	}
+	if P16FromFloat64(1).Exp().Float64() != Float64ToNearest(Std16, math.E) {
+		t.Error("p16 Exp")
+	}
+	if P16FromFloat64(1).Log() != 0 || P16FromFloat64(0).Tanh() != 0 {
+		t.Error("p16 log/tanh")
+	}
+}

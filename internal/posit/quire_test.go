@@ -1,0 +1,248 @@
+package posit
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestQuireDotExact: quire dot products must equal the exact rational
+// dot product rounded once, for random posit32 vectors spanning the
+// full dynamic range.
+func TestQuireDotExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cfg := Std32
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(64)
+		q := NewQuire(cfg)
+		exact := new(big.Rat)
+		for i := 0; i < n; i++ {
+			a := cfg.Canon(rng.Uint64())
+			b := cfg.Canon(rng.Uint64())
+			if a == cfg.NaR() || b == cfg.NaR() {
+				continue
+			}
+			q.AddProduct(a, b)
+			exact.Add(exact, new(big.Rat).Mul(ratFromPosit(cfg, a), ratFromPosit(cfg, b)))
+		}
+		got := q.ToPosit()
+		want := refRoundRat(cfg, exact)
+		if got != want {
+			t.Fatalf("trial %d: quire dot = %#x (%v), want %#x (%v)",
+				trial, got, DecodeFloat64(cfg, got), want, DecodeFloat64(cfg, want))
+		}
+	}
+}
+
+// TestQuireSumExact repeats the check for plain sums, including
+// subtraction.
+func TestQuireSumExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, cfg := range []Config{Std8, Std16, Std32, Std64} {
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(40)
+			q := NewQuire(cfg)
+			exact := new(big.Rat)
+			for i := 0; i < n; i++ {
+				a := cfg.Canon(rng.Uint64())
+				if a == cfg.NaR() {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					q.AddPosit(a)
+					exact.Add(exact, ratFromPosit(cfg, a))
+				} else {
+					q.SubPosit(a)
+					exact.Sub(exact, ratFromPosit(cfg, a))
+				}
+			}
+			got := q.ToPosit()
+			want := refRoundRat(cfg, exact)
+			if got != want {
+				t.Fatalf("%v trial %d: quire sum = %#x, want %#x (exact %v)",
+					cfg, trial, got, want, exact.FloatString(20))
+			}
+		}
+	}
+}
+
+// TestQuireCancellation: catastrophic cancellation that destroys
+// floating-point sums is exact in a quire.
+func TestQuireCancellation(t *testing.T) {
+	cfg := Std32
+	big1 := EncodeFloat64(cfg, math.Ldexp(1, 60))
+	tiny := EncodeFloat64(cfg, math.Ldexp(1, -60))
+	q := NewQuire(cfg)
+	q.AddPosit(big1)
+	q.AddPosit(tiny)
+	q.SubPosit(big1)
+	if got := q.ToPosit(); got != tiny {
+		t.Errorf("quire cancellation: got %#x, want tiny %#x", got, tiny)
+	}
+	// Naive posit arithmetic loses the tiny term entirely.
+	naive := Sub(cfg, Add(cfg, Add(cfg, big1, tiny), 0), big1)
+	if naive == tiny {
+		t.Skip("unexpectedly exact; dynamic range too small to demonstrate")
+	}
+}
+
+// TestQuireProductExactness: a quire holds minpos² and maxpos²
+// without loss.
+func TestQuireProductExactness(t *testing.T) {
+	for _, cfg := range []Config{Std8, Std16, Std32} {
+		minp := cfg.MinPosBits()
+		q := NewQuire(cfg)
+		q.AddProduct(minp, minp)
+		exact := new(big.Rat).Mul(ratFromPosit(cfg, minp), ratFromPosit(cfg, minp))
+		if got, want := q.ToPosit(), refRoundRat(cfg, exact); got != want {
+			t.Errorf("%v: minpos² through quire = %#x, want %#x", cfg, got, want)
+		}
+		maxp := cfg.MaxPosBits()
+		q.Zero()
+		q.AddProduct(maxp, maxp)
+		exact = new(big.Rat).Mul(ratFromPosit(cfg, maxp), ratFromPosit(cfg, maxp))
+		if got, want := q.ToPosit(), refRoundRat(cfg, exact); got != want {
+			t.Errorf("%v: maxpos² through quire = %#x, want %#x", cfg, got, want)
+		}
+		// maxpos² saturates on readout (exceeds maxpos).
+		if q.ToPosit() != cfg.MaxPosBits() {
+			t.Errorf("%v: maxpos² should saturate to maxpos", cfg)
+		}
+	}
+}
+
+// TestQuireNaR: NaR poisons the quire permanently until Zero.
+func TestQuireNaR(t *testing.T) {
+	cfg := Std32
+	q := NewQuire(cfg)
+	q.AddPosit(EncodeFloat64(cfg, 3))
+	q.AddPosit(cfg.NaR())
+	if !q.IsNaR() || q.ToPosit() != cfg.NaR() {
+		t.Error("quire should be NaR after accumulating NaR")
+	}
+	q.AddPosit(EncodeFloat64(cfg, 1))
+	if q.ToPosit() != cfg.NaR() {
+		t.Error("quire should stay NaR")
+	}
+	q.Zero()
+	q.AddPosit(EncodeFloat64(cfg, 2))
+	if q.ToPosit() != EncodeFloat64(cfg, 2) {
+		t.Error("quire should recover after Zero")
+	}
+	if !math.IsNaN(func() float64 { q.AddPosit(cfg.NaR()); return q.Float64() }()) {
+		t.Error("NaR quire Float64 should be NaN")
+	}
+}
+
+// TestQuireOrderIndependence: permuting the accumulation order never
+// changes the result (the reproducibility property the paper cites).
+func TestQuireOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	cfg := Std32
+	vals := make([]uint64, 50)
+	for i := range vals {
+		for {
+			vals[i] = cfg.Canon(rng.Uint64())
+			if vals[i] != cfg.NaR() {
+				break
+			}
+		}
+	}
+	sum := func(order []int) uint64 {
+		q := NewQuire(cfg)
+		for _, idx := range order {
+			q.AddPosit(vals[idx])
+		}
+		return q.ToPosit()
+	}
+	base := make([]int, len(vals))
+	for i := range base {
+		base[i] = i
+	}
+	want := sum(base)
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(vals))
+		if got := sum(perm); got != want {
+			t.Fatalf("quire sum depends on order: %#x vs %#x", got, want)
+		}
+	}
+	// Contrast: naive left-to-right posit addition is order dependent
+	// in general (not asserted, just computed for coverage).
+	acc := uint64(0)
+	for _, v := range vals {
+		acc = Add(cfg, acc, v)
+	}
+	_ = acc
+}
+
+// TestDotAndSumHelpers covers the convenience wrappers.
+func TestDotAndSumHelpers(t *testing.T) {
+	a := []Posit32{P32FromFloat64(1), P32FromFloat64(2), P32FromFloat64(3)}
+	b := []Posit32{P32FromFloat64(4), P32FromFloat64(5), P32FromFloat64(6)}
+	if got := DotP32(a, b).Float64(); got != 32 {
+		t.Errorf("DotP32 = %v, want 32", got)
+	}
+	if got := SumP32(a).Float64(); got != 6 {
+		t.Errorf("SumP32 = %v, want 6", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DotP32 length mismatch should panic")
+		}
+	}()
+	DotP32(a, b[:2])
+}
+
+func TestNewQuirePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewQuire should panic for N not divisible by 4")
+		}
+	}()
+	NewQuire(Config{N: 10, ES: 2})
+}
+
+// TestDotHelpersOtherWidths covers the 16- and 64-bit quire wrappers,
+// including a product whose exactness requires the quire (maxpos16²
+// accumulated against its negation cancels exactly).
+func TestDotHelpersOtherWidths(t *testing.T) {
+	a16 := []Posit16{P16FromFloat64(1.5), P16FromFloat64(-2)}
+	b16 := []Posit16{P16FromFloat64(4), P16FromFloat64(0.25)}
+	if got := DotP16(a16, b16).Float64(); got != 5.5 {
+		t.Errorf("DotP16 = %v", got)
+	}
+	if got := SumP16(a16).Float64(); got != -0.5 {
+		t.Errorf("SumP16 = %v", got)
+	}
+	a64 := []Posit64{P64FromFloat64(1e10), P64FromFloat64(-1e10), P64FromFloat64(0.5)}
+	ones := []Posit64{P64FromFloat64(1), P64FromFloat64(1), P64FromFloat64(1)}
+	if got := DotP64(a64, ones).Float64(); got != 0.5 {
+		t.Errorf("DotP64 = %v", got)
+	}
+	if got := SumP64(a64).Float64(); got != 0.5 {
+		t.Errorf("SumP64 = %v", got)
+	}
+	// Exact cancellation through the 1024-bit quire: maxpos64² − maxpos64² + 1.
+	maxp := P64FromBits(Std64.MaxPosBits())
+	q := NewQuire(Std64)
+	q.AddProduct(uint64(maxp), uint64(maxp))
+	q.SubProduct(uint64(maxp), uint64(maxp))
+	q.AddPosit(uint64(P64FromFloat64(1)))
+	if got := P64FromBits(q.ToPosit()).Float64(); got != 1 {
+		t.Errorf("maxpos64 cancellation = %v", got)
+	}
+	for _, f := range []func(){
+		func() { DotP16(a16, b16[:1]) },
+		func() { DotP64(a64, ones[:1]) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

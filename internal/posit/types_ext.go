@@ -1,0 +1,78 @@
+package posit
+
+// Convenience methods wiring the conversion and fused operations onto
+// the concrete types.
+
+// FMA returns the correctly rounded fused p×q + r.
+func (p Posit32) FMA(q, r Posit32) Posit32 {
+	return Posit32(FMA(Std32, uint64(p), uint64(q), uint64(r)))
+}
+
+// FMA returns the correctly rounded fused p×q + r.
+func (p Posit16) FMA(q, r Posit16) Posit16 {
+	return Posit16(FMA(Std16, uint64(p), uint64(q), uint64(r)))
+}
+
+// FMA returns the correctly rounded fused p×q + r.
+func (p Posit8) FMA(q, r Posit8) Posit8 {
+	return Posit8(FMA(Std8, uint64(p), uint64(q), uint64(r)))
+}
+
+// FMA returns the correctly rounded fused p×q + r.
+func (p Posit64) FMA(q, r Posit64) Posit64 {
+	return Posit64(FMA(Std64, uint64(p), uint64(q), uint64(r)))
+}
+
+// NextUp returns the next posit above p (saturating at maxpos).
+func (p Posit32) NextUp() Posit32 { return Posit32(NextUp(Std32, uint64(p))) }
+
+// NextDown returns the next posit below p (saturating at -maxpos).
+func (p Posit32) NextDown() Posit32 { return Posit32(NextDown(Std32, uint64(p))) }
+
+// NextUp returns the next posit above p (saturating at maxpos).
+func (p Posit16) NextUp() Posit16 { return Posit16(NextUp(Std16, uint64(p))) }
+
+// NextDown returns the next posit below p (saturating at -maxpos).
+func (p Posit16) NextDown() Posit16 { return Posit16(NextDown(Std16, uint64(p))) }
+
+// NextUp returns the next posit above p (saturating at maxpos).
+func (p Posit8) NextUp() Posit8 { return Posit8(NextUp(Std8, uint64(p))) }
+
+// NextDown returns the next posit below p (saturating at -maxpos).
+func (p Posit8) NextDown() Posit8 { return Posit8(NextDown(Std8, uint64(p))) }
+
+// NextUp returns the next posit above p (saturating at maxpos).
+func (p Posit64) NextUp() Posit64 { return Posit64(NextUp(Std64, uint64(p))) }
+
+// NextDown returns the next posit below p (saturating at -maxpos).
+func (p Posit64) NextDown() Posit64 { return Posit64(NextDown(Std64, uint64(p))) }
+
+// ToP16 narrows to 16 bits with correct rounding.
+func (p Posit32) ToP16() Posit16 { return Posit16(Convert(Std32, Std16, uint64(p))) }
+
+// ToP8 narrows to 8 bits with correct rounding.
+func (p Posit32) ToP8() Posit8 { return Posit8(Convert(Std32, Std8, uint64(p))) }
+
+// ToP64 widens to 64 bits exactly.
+func (p Posit32) ToP64() Posit64 { return Posit64(Convert(Std32, Std64, uint64(p))) }
+
+// ToP32 widens to 32 bits exactly.
+func (p Posit16) ToP32() Posit32 { return Posit32(Convert(Std16, Std32, uint64(p))) }
+
+// ToP32 widens to 32 bits exactly.
+func (p Posit8) ToP32() Posit32 { return Posit32(Convert(Std8, Std32, uint64(p))) }
+
+// ToP32 narrows to 32 bits with correct rounding.
+func (p Posit64) ToP32() Posit32 { return Posit32(Convert(Std64, Std32, uint64(p))) }
+
+// Int64 rounds p to the nearest int64 (ties to even), saturating.
+func (p Posit32) Int64() int64 { return ToInt64(Std32, uint64(p)) }
+
+// Int64 rounds p to the nearest int64 (ties to even), saturating.
+func (p Posit64) Int64() int64 { return ToInt64(Std64, uint64(p)) }
+
+// P32FromInt64 returns the posit32 nearest to v.
+func P32FromInt64(v int64) Posit32 { return Posit32(FromInt64(Std32, v)) }
+
+// P64FromInt64 returns the posit64 nearest to v.
+func P64FromInt64(v int64) Posit64 { return Posit64(FromInt64(Std64, v)) }

@@ -1,0 +1,71 @@
+package posit
+
+import "testing"
+
+func TestTypeExtMethods(t *testing.T) {
+	// FMA wrappers.
+	if got := P32FromFloat64(2).FMA(P32FromFloat64(3), P32FromFloat64(4)).Float64(); got != 10 {
+		t.Errorf("p32 FMA = %v", got)
+	}
+	if got := P16FromFloat64(2).FMA(P16FromFloat64(3), P16FromFloat64(-6)).Float64(); got != 0 {
+		t.Errorf("p16 FMA = %v", got)
+	}
+	if got := P8FromFloat64(2).FMA(P8FromFloat64(2), P8FromFloat64(1)).Float64(); got != 5 {
+		t.Errorf("p8 FMA = %v", got)
+	}
+	if got := P64FromFloat64(1.5).FMA(P64FromFloat64(2), P64FromFloat64(0.5)).Float64(); got != 3.5 {
+		t.Errorf("p64 FMA = %v", got)
+	}
+
+	// NextUp/NextDown wrappers.
+	one32 := P32FromFloat64(1)
+	if one32.NextUp().NextDown() != one32 || !(one32.NextUp().Float64() > 1) {
+		t.Error("p32 next")
+	}
+	one16 := P16FromFloat64(1)
+	if one16.NextUp().NextDown() != one16 {
+		t.Error("p16 next")
+	}
+	one8 := P8FromFloat64(1)
+	if one8.NextUp().NextDown() != one8 {
+		t.Error("p8 next")
+	}
+	one64 := P64FromFloat64(1)
+	if one64.NextUp().NextDown() != one64 {
+		t.Error("p64 next")
+	}
+
+	// Width conversions.
+	p := P32FromFloat64(186.25)
+	if p.ToP64().ToP32() != p {
+		t.Error("p32 -> p64 -> p32 should be identity")
+	}
+	if p.ToP16().ToP32().Float64() == 0 {
+		t.Error("p32 -> p16 lost everything")
+	}
+	if P16FromFloat64(3).ToP32().Float64() != 3 {
+		t.Error("p16 widening")
+	}
+	if P8FromFloat64(3).ToP32().Float64() != 3 {
+		t.Error("p8 widening")
+	}
+	if p.ToP8().Float64() != 192 { // 186.25 rounds to 192 in posit8
+		t.Errorf("p32 -> p8 = %v", p.ToP8().Float64())
+	}
+
+	// Integer conversions.
+	if p.Int64() != 186 {
+		t.Errorf("p32 Int64 = %d", p.Int64())
+	}
+	if P64FromFloat64(-2.5).Int64() != -2 {
+		t.Error("p64 Int64 ties to even")
+	}
+	if P32FromInt64(-42).Float64() != -42 {
+		t.Error("P32FromInt64")
+	}
+	// At scale 40, posit64 carries 49 fraction bits, so 2^40 + 1 is
+	// exactly representable.
+	if P64FromInt64(1<<40+1).Float64() != float64(1<<40+1) {
+		t.Error("P64FromInt64 should be exact for 41-bit ints")
+	}
+}

@@ -1,0 +1,143 @@
+// Package qcat re-implements the error metrics of the Quick
+// Compression Analysis Toolkit (QCAT 1.3) that the paper uses to
+// quantify the damage of each injected bit flip (§4.2): maximum
+// absolute error, maximum relative error, mean squared error, RMSE,
+// NRMSE, PSNR, L2-norm error, and the mean relative error distance
+// (MRED) metric of Alouani et al. used by the prior posit study.
+package qcat
+
+import "math"
+
+// Metrics compares an original and a faulty array element-wise.
+type Metrics struct {
+	N int // elements compared
+
+	// MaxAbsErr is max |orig − faulty|.
+	MaxAbsErr float64
+	// MaxRelErr is max |orig − faulty| / |orig| over elements with
+	// orig != 0 (QCAT's pointwise relative error).
+	MaxRelErr float64
+	// MaxValRangeRelErr is max |orig − faulty| / (max(orig) − min(orig)),
+	// QCAT's value-range-relative error.
+	MaxValRangeRelErr float64
+	// MSE is the mean squared error; RMSE its square root.
+	MSE  float64
+	RMSE float64
+	// NRMSE is RMSE / (max(orig) − min(orig)).
+	NRMSE float64
+	// PSNR in dB, from NRMSE: −20·log10(NRMSE).
+	PSNR float64
+	// L2Norm is sqrt(Σ (orig−faulty)²) — the norm error QCAT reports.
+	L2Norm float64
+	// MRED is mean(|orig − faulty| / |orig|) over nonzero orig
+	// (the metric of the Alouani et al. posit study).
+	MRED float64
+	// SpecialValues counts faulty elements that decoded to NaN or ±Inf
+	// (catastrophic flips: IEEE Inf/NaN or posit NaR).
+	SpecialValues int
+}
+
+// Compare computes all metrics between orig and faulty, which must
+// have the same length. Elements whose faulty value is NaN/Inf are
+// tallied in SpecialValues and treated as infinite error in the max
+// metrics but excluded from the mean metrics (matching how the paper
+// logs them separately rather than letting one NaN poison the MSE).
+func Compare(orig, faulty []float64) Metrics {
+	if len(orig) != len(faulty) {
+		panic("qcat: length mismatch")
+	}
+	m := Metrics{N: len(orig)}
+	if len(orig) == 0 {
+		return m
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sumSq, sumRel float64
+	var nRel, nSq int
+	for i := range orig {
+		o, f := orig[i], faulty[i]
+		if !math.IsNaN(o) && !math.IsInf(o, 0) {
+			if o < lo {
+				lo = o
+			}
+			if o > hi {
+				hi = o
+			}
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			m.SpecialValues++
+			m.MaxAbsErr = math.Inf(1)
+			m.MaxRelErr = math.Inf(1)
+			continue
+		}
+		d := math.Abs(o - f)
+		if d > m.MaxAbsErr {
+			m.MaxAbsErr = d
+		}
+		sumSq += d * d
+		nSq++
+		if o != 0 {
+			rel := d / math.Abs(o)
+			if rel > m.MaxRelErr {
+				m.MaxRelErr = rel
+			}
+			sumRel += rel
+			nRel++
+		} else if d > 0 {
+			m.MaxRelErr = math.Inf(1)
+		}
+	}
+	if nSq > 0 {
+		m.MSE = sumSq / float64(nSq)
+		m.RMSE = math.Sqrt(m.MSE)
+		m.L2Norm = math.Sqrt(sumSq)
+	}
+	if nRel > 0 {
+		m.MRED = sumRel / float64(nRel)
+	}
+	valRange := hi - lo
+	if valRange > 0 && !math.IsInf(m.MaxAbsErr, 0) {
+		m.MaxValRangeRelErr = m.MaxAbsErr / valRange
+		m.NRMSE = m.RMSE / valRange
+		if m.NRMSE > 0 {
+			m.PSNR = -20 * math.Log10(m.NRMSE)
+		} else {
+			m.PSNR = math.Inf(1)
+		}
+	} else {
+		m.MaxValRangeRelErr = math.NaN()
+		m.NRMSE = math.NaN()
+		m.PSNR = math.NaN()
+	}
+	return m
+}
+
+// PointErr quantifies a single-element substitution — the fast path
+// for the campaign, where exactly one element differs. orig is the
+// untouched element value, faulty its corrupted decoding.
+type PointErr struct {
+	AbsErr float64
+	RelErr float64
+	// Catastrophic marks a faulty value of NaN/±Inf (or an original of
+	// zero corrupted to nonzero, where relative error is undefined and
+	// reported as +Inf).
+	Catastrophic bool
+}
+
+// Point computes the pointwise error of one corrupted element.
+func Point(orig, faulty float64) PointErr {
+	if math.IsNaN(faulty) || math.IsInf(faulty, 0) {
+		return PointErr{AbsErr: math.Inf(1), RelErr: math.Inf(1), Catastrophic: true}
+	}
+	d := math.Abs(orig - faulty)
+	p := PointErr{AbsErr: d}
+	switch {
+	case orig != 0:
+		p.RelErr = d / math.Abs(orig)
+	case d == 0:
+		p.RelErr = 0
+	default:
+		p.RelErr = math.Inf(1)
+		p.Catastrophic = true
+	}
+	return p
+}

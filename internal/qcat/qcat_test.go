@@ -1,0 +1,141 @@
+package qcat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareBasic(t *testing.T) {
+	orig := []float64{1, 2, 3, 4}
+	faulty := []float64{1, 2, 3.3, 4}
+	m := Compare(orig, faulty)
+	if m.N != 4 || m.SpecialValues != 0 {
+		t.Errorf("N/specials: %+v", m)
+	}
+	if math.Abs(m.MaxAbsErr-0.3) > 1e-12 {
+		t.Errorf("MaxAbsErr %v", m.MaxAbsErr)
+	}
+	if math.Abs(m.MaxRelErr-0.1) > 1e-12 {
+		t.Errorf("MaxRelErr %v", m.MaxRelErr)
+	}
+	wantMSE := 0.09 / 4
+	if math.Abs(m.MSE-wantMSE) > 1e-12 {
+		t.Errorf("MSE %v want %v", m.MSE, wantMSE)
+	}
+	if math.Abs(m.RMSE-math.Sqrt(wantMSE)) > 1e-12 {
+		t.Errorf("RMSE %v", m.RMSE)
+	}
+	if math.Abs(m.L2Norm-0.3) > 1e-12 {
+		t.Errorf("L2 %v", m.L2Norm)
+	}
+	// Value range of orig is 3; range-relative metrics follow.
+	if math.Abs(m.MaxValRangeRelErr-0.1) > 1e-12 {
+		t.Errorf("MaxValRangeRelErr %v", m.MaxValRangeRelErr)
+	}
+	if math.Abs(m.NRMSE-math.Sqrt(wantMSE)/3) > 1e-12 {
+		t.Errorf("NRMSE %v", m.NRMSE)
+	}
+	if math.Abs(m.PSNR-(-20*math.Log10(m.NRMSE))) > 1e-12 {
+		t.Errorf("PSNR %v", m.PSNR)
+	}
+	if math.Abs(m.MRED-0.1/4) > 1e-12 {
+		t.Errorf("MRED %v", m.MRED)
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := []float64{5, -3, 0}
+	m := Compare(a, []float64{5, -3, 0})
+	if m.MaxAbsErr != 0 || m.MaxRelErr != 0 || m.MSE != 0 || m.MRED != 0 {
+		t.Errorf("identical arrays should have zero error: %+v", m)
+	}
+	if !math.IsInf(m.PSNR, 1) {
+		t.Errorf("PSNR of identical arrays should be +Inf, got %v", m.PSNR)
+	}
+}
+
+func TestCompareSpecials(t *testing.T) {
+	orig := []float64{1, 2, 3}
+	faulty := []float64{1, math.NaN(), 3}
+	m := Compare(orig, faulty)
+	if m.SpecialValues != 1 {
+		t.Errorf("specials: %d", m.SpecialValues)
+	}
+	if !math.IsInf(m.MaxAbsErr, 1) || !math.IsInf(m.MaxRelErr, 1) {
+		t.Error("special flip should register infinite max errors")
+	}
+	// Mean metrics exclude the special element.
+	if m.MSE != 0 || m.MRED != 0 {
+		t.Errorf("mean metrics should skip specials: %+v", m)
+	}
+	faulty = []float64{1, math.Inf(1), 3}
+	if Compare(orig, faulty).SpecialValues != 1 {
+		t.Error("Inf should count as special")
+	}
+}
+
+func TestCompareZeroOrig(t *testing.T) {
+	// Relative error against a zero original is +Inf if the faulty
+	// value moved, and ignored otherwise.
+	m := Compare([]float64{0, 1}, []float64{0.5, 1})
+	if !math.IsInf(m.MaxRelErr, 1) {
+		t.Error("flip of a zero should be infinite relative error")
+	}
+	m = Compare([]float64{0, 1}, []float64{0, 1})
+	if m.MaxRelErr != 0 {
+		t.Error("unchanged zero should not contribute relative error")
+	}
+}
+
+func TestCompareEmptyAndMismatch(t *testing.T) {
+	m := Compare(nil, nil)
+	if m.N != 0 {
+		t.Error("empty compare")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Compare([]float64{1}, []float64{1, 2})
+}
+
+func TestCompareConstantRange(t *testing.T) {
+	// Zero value range: range-relative metrics are undefined (NaN).
+	m := Compare([]float64{2, 2}, []float64{2, 2.5})
+	if !math.IsNaN(m.NRMSE) || !math.IsNaN(m.PSNR) || !math.IsNaN(m.MaxValRangeRelErr) {
+		t.Errorf("zero-range metrics should be NaN: %+v", m)
+	}
+}
+
+func TestPoint(t *testing.T) {
+	p := Point(4, 5)
+	if p.AbsErr != 1 || p.RelErr != 0.25 || p.Catastrophic {
+		t.Errorf("point: %+v", p)
+	}
+	p = Point(-2, -2)
+	if p.AbsErr != 0 || p.RelErr != 0 {
+		t.Errorf("identical point: %+v", p)
+	}
+	p = Point(3, math.NaN())
+	if !p.Catastrophic || !math.IsInf(p.AbsErr, 1) || !math.IsInf(p.RelErr, 1) {
+		t.Errorf("NaN point: %+v", p)
+	}
+	p = Point(3, math.Inf(-1))
+	if !p.Catastrophic {
+		t.Errorf("Inf point: %+v", p)
+	}
+	p = Point(0, 1)
+	if !p.Catastrophic || !math.IsInf(p.RelErr, 1) || p.AbsErr != 1 {
+		t.Errorf("zero-orig point: %+v", p)
+	}
+	p = Point(0, 0)
+	if p.Catastrophic || p.RelErr != 0 {
+		t.Errorf("zero-zero point: %+v", p)
+	}
+	// Sign flip: |orig - (-orig)| = 2|orig| (paper §3.1).
+	p = Point(186.25, -186.25)
+	if p.AbsErr != 372.5 || p.RelErr != 2 {
+		t.Errorf("sign-flip point: %+v", p)
+	}
+}

@@ -1,0 +1,103 @@
+// Package redundancy implements triple modular redundancy (TMR) over
+// format-stored arrays — the replication side of the paper's ref [23]
+// (Fiala et al., "Detection and Correction of Silent Data Corruption
+// for Large-scale High-performance Computing"): every word is stored
+// three times, loads take a bitwise majority vote, and a divergent
+// replica is scrubbed back into agreement. A single upset in any
+// replica is therefore corrected transparently; simultaneous upsets of
+// the same bit in two replicas defeat the vote (counted, not hidden).
+package redundancy
+
+import (
+	"fmt"
+
+	"positres/internal/kernels"
+	"positres/internal/numfmt"
+)
+
+// VoteBits returns the bitwise majority of three words: each result
+// bit is set iff it is set in at least two inputs.
+func VoteBits(a, b, c uint64) uint64 {
+	return a&b | a&c | b&c
+}
+
+// TripleArray stores each element in three replicas with voting loads.
+type TripleArray struct {
+	r [3]*kernels.Array
+
+	// Corrected counts loads where at least one replica disagreed with
+	// the vote and was scrubbed.
+	Corrected int
+}
+
+// NewTripleArray stores data in the format, three times.
+func NewTripleArray(codec numfmt.Codec, data []float64) *TripleArray {
+	t := &TripleArray{}
+	for i := range t.r {
+		t.r[i] = kernels.NewArray(codec, data)
+	}
+	return t
+}
+
+// Len returns the element count.
+func (t *TripleArray) Len() int { return t.r[0].Len() }
+
+// Codec returns the storage format.
+func (t *TripleArray) Codec() numfmt.Codec { return t.r[0].Codec() }
+
+// Load votes the three replicas of element i, scrubbing any replica
+// that disagrees with the majority.
+func (t *TripleArray) Load(i int) float64 {
+	w0, w1, w2 := t.r[0].Bits(i), t.r[1].Bits(i), t.r[2].Bits(i)
+	v := VoteBits(w0, w1, w2)
+	if w0 != v || w1 != v || w2 != v {
+		t.Corrected++
+		t.scrub(i, v)
+	}
+	return t.Codec().Decode(v)
+}
+
+func (t *TripleArray) scrub(i int, v uint64) {
+	val := t.Codec().Decode(v)
+	for _, r := range t.r {
+		if r.Bits(i) != v {
+			r.Store(i, val)
+		}
+	}
+}
+
+// Store writes all three replicas.
+func (t *TripleArray) Store(i int, v float64) {
+	for _, r := range t.r {
+		r.Store(i, v)
+	}
+}
+
+// InjectBitFlip corrupts one bit of one replica (0..2).
+func (t *TripleArray) InjectBitFlip(replica, i, bit int) {
+	if replica < 0 || replica > 2 {
+		panic(fmt.Sprintf("redundancy: replica %d out of range", replica))
+	}
+	t.r[replica].InjectBitFlip(i, bit)
+}
+
+// Scrub votes every element, repairing divergent replicas; it returns
+// the number of elements that needed repair.
+func (t *TripleArray) Scrub() int {
+	repaired := 0
+	before := t.Corrected
+	for i := 0; i < t.Len(); i++ {
+		t.Load(i)
+	}
+	repaired = t.Corrected - before
+	return repaired
+}
+
+// Float64s decodes the voted contents.
+func (t *TripleArray) Float64s() []float64 {
+	out := make([]float64, t.Len())
+	for i := range out {
+		out[i] = t.Load(i)
+	}
+	return out
+}

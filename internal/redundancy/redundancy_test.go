@@ -1,0 +1,114 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"positres/internal/numfmt"
+)
+
+func codec(t *testing.T, name string) numfmt.Codec {
+	t.Helper()
+	c, err := numfmt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestVoteBitsMajority (property): every bit of the vote equals the
+// majority of the input bits, and the vote is permutation-invariant.
+func TestVoteBitsMajority(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		v := VoteBits(a, b, c)
+		if VoteBits(b, c, a) != v || VoteBits(c, a, b) != v {
+			return false
+		}
+		for bit := 0; bit < 64; bit++ {
+			n := a>>uint(bit)&1 + b>>uint(bit)&1 + c>>uint(bit)&1
+			want := uint64(0)
+			if n >= 2 {
+				want = 1
+			}
+			if v>>uint(bit)&1 != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Agreement is the identity.
+	if VoteBits(7, 7, 7) != 7 {
+		t.Error("unanimous vote")
+	}
+}
+
+// TestSingleReplicaFaultCorrected: flipping ANY bit of ANY single
+// replica never changes a loaded value, and the replica is scrubbed.
+func TestSingleReplicaFaultCorrected(t *testing.T) {
+	for _, name := range []string{"posit32", "ieee32"} {
+		c := codec(t, name)
+		for replica := 0; replica < 3; replica++ {
+			for bit := 0; bit < 32; bit++ {
+				ta := NewTripleArray(c, []float64{1.5, -200, 3e-9})
+				ta.InjectBitFlip(replica, 1, bit)
+				if got := ta.Load(1); got != -200 {
+					t.Fatalf("%s replica %d bit %d: load %v", name, replica, bit, got)
+				}
+				if ta.Corrected != 1 {
+					t.Fatalf("correction not recorded")
+				}
+				// Scrubbed: a second load is unanimous.
+				before := ta.Corrected
+				if ta.Load(1) != -200 || ta.Corrected != before {
+					t.Fatalf("replica not scrubbed")
+				}
+			}
+		}
+	}
+}
+
+// TestDoubleSameBitDefeatsTMR: the documented limit — the same bit
+// flipped in two replicas wins the vote.
+func TestDoubleSameBitDefeatsTMR(t *testing.T) {
+	c := codec(t, "posit32")
+	ta := NewTripleArray(c, []float64{42})
+	ta.InjectBitFlip(0, 0, 29)
+	ta.InjectBitFlip(1, 0, 29)
+	if got := ta.Load(0); got == 42 {
+		t.Fatal("two-replica same-bit fault should defeat the vote")
+	}
+}
+
+func TestStoreScrubAndHelpers(t *testing.T) {
+	c := codec(t, "posit32")
+	ta := NewTripleArray(c, []float64{1, 2, 3})
+	if ta.Len() != 3 || ta.Codec().Name() != "posit32" {
+		t.Fatal("shape")
+	}
+	ta.Store(0, 9)
+	if ta.Load(0) != 9 {
+		t.Fatal("store")
+	}
+	// Distinct (element, bit) pairs so no two replicas share a fault.
+	ta.InjectBitFlip(0, 0, 5)
+	ta.InjectBitFlip(1, 1, 17)
+	ta.InjectBitFlip(2, 2, 29)
+	ta.InjectBitFlip(0, 2, 3)
+	repaired := ta.Scrub()
+	if repaired == 0 {
+		t.Fatal("scrub found nothing")
+	}
+	got := ta.Float64s()
+	if got[0] != 9 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("contents after scrub: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad replica index should panic")
+		}
+	}()
+	ta.InjectBitFlip(5, 0, 0)
+}

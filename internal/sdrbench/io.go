@@ -1,0 +1,78 @@
+package sdrbench
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The SDRBench distribution ships each field as a headerless raw file
+// of little-endian IEEE-754 binary32 values; the paper's campaign
+// "reads a binary file containing a field from a scientific data set
+// and loads it into an array". These helpers reproduce that format.
+
+// WriteRaw writes values as little-endian float32 to w.
+func WriteRaw(w io.Writer, data []float32) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("sdrbench: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRaw reads every little-endian float32 from r.
+func ReadRaw(r io.Reader) ([]float32, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var out []float32
+	var buf [4]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sdrbench: read: %w", err)
+		}
+		out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[:])))
+	}
+}
+
+// WriteRawFile writes data to path in raw float32 layout.
+func WriteRawFile(path string, data []float32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sdrbench: %w", err)
+	}
+	if err := WriteRaw(f, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadRawFile loads a raw float32 file.
+func ReadRawFile(path string) ([]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sdrbench: %w", err)
+	}
+	defer f.Close()
+	return ReadRaw(f)
+}
+
+// ToFloat64 widens a float32 slice (the campaign operates on float64
+// internally, exactly as the paper's C harness promotes floats).
+func ToFloat64(in []float32) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}

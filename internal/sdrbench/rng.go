@@ -1,0 +1,129 @@
+// Package sdrbench generates deterministic synthetic stand-ins for
+// the SDRBench scientific datasets the paper injects faults into
+// (CESM, EXAFEL, HACC, Hurricane Isabel, Nyx — Table 1), and reads and
+// writes them in the raw little-endian float32 layout the paper's
+// campaign loads ("reads a binary file containing a field ... into an
+// array").
+//
+// The generators are tuned per field so the summary statistics the
+// paper reports (mean, median, max, min, standard deviation) are
+// matched in magnitude and sign structure. Bit-flip sensitivity at
+// each position depends only on the value distribution — the
+// magnitudes (which set posit regime sizes), the sign mix and the zero
+// mass — so matching those moments preserves the behaviour the
+// experiments measure. Physical content is irrelevant and not
+// modelled; see DESIGN.md §2.
+package sdrbench
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a self-contained xoshiro256** generator. It is deterministic
+// across platforms and Go releases (unlike math/rand's default
+// source), which makes every campaign reproducible bit-for-bit from
+// its seed, strengthening the paper's "seed the random number
+// generator for reproducibility" step.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 is the stream initializer recommended for xoshiro.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9E3779B97F4A7C15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewRNG derives an independent stream from a seed and a sequence of
+// labels (field name, codec, bit position, ...). Streams with
+// different labels are statistically independent.
+func NewRNG(seed uint64, labels ...string) *RNG {
+	// Mix the labels into the seed with FNV-1a.
+	h := uint64(1469598103934665603)
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h ^= uint64(l[i])
+			h *= 1099511628211
+		}
+		h ^= 0xFF // label separator
+		h *= 1099511628211
+	}
+	x := seed ^ h
+	r := &RNG{}
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// A state of all zeros is invalid for xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sdrbench: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	un := uint64(n)
+	threshold := (-un) % un
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) variate via inversion.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// LogNormal returns a lognormal variate with the given log-space
+// location and scale: exp(mu + sigma·N).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}

@@ -1,0 +1,178 @@
+// Package softerr models the soft-error process of the paper's §3.3:
+// transient particle-induced upsets arriving as a Poisson process over
+// the bits of a resident data array. Given a per-bit FIT rate
+// (failures in time: expected upsets per bit per 10⁹ hours — the unit
+// DRAM vendors quote), an array size, and a residency duration, it
+// samples upset counts, applies them as random bit flips through any
+// number-format codec, and measures the damage — turning the paper's
+// per-flip analysis into expected-corruption-per-hour estimates that
+// inform the "hardware design for future fault prone systems" goal.
+package softerr
+
+import (
+	"fmt"
+	"math"
+
+	"positres/internal/bitflip"
+	"positres/internal/numfmt"
+	"positres/internal/qcat"
+	"positres/internal/sdrbench"
+)
+
+// Model parameterizes the upset process.
+type Model struct {
+	// FITPerBit is the expected number of upsets per bit per 10⁹
+	// device-hours. Field studies report O(10⁻²)–O(10⁰) FIT/Mbit for
+	// modern DRAM, i.e. ~1e-8..1e-6 per bit.
+	FITPerBit float64
+	// Seed drives the deterministic Monte Carlo streams.
+	Seed uint64
+}
+
+// ExpectedUpsets returns λ, the Poisson mean for an array of `bits`
+// total bits resident for `hours`.
+func (m Model) ExpectedUpsets(bits int, hours float64) float64 {
+	return m.FITPerBit * float64(bits) * hours / 1e9
+}
+
+// EpochResult describes one simulated residency epoch. MaxRelErr and
+// MRED cover the non-catastrophic upsets; catastrophic ones (decoding
+// to NaN/Inf/NaR) are counted separately.
+type EpochResult struct {
+	Upsets       int
+	MaxRelErr    float64
+	MRED         float64
+	Catastrophic int
+}
+
+// poisson samples a Poisson variate (Knuth's product method for small
+// λ, normal approximation above 30 — adequate for rate modelling).
+func poisson(rng *sdrbench.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Simulate runs `epochs` independent residency periods of the given
+// duration over data stored in the codec's format, returning per-epoch
+// damage. Each epoch starts from pristine data (scrub-at-epoch-start
+// semantics). Deterministic in (model seed, codec, epoch).
+func Simulate(m Model, codec numfmt.Codec, data []float64, hours float64, epochs int) ([]EpochResult, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("softerr: empty data")
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("softerr: epochs must be positive")
+	}
+	width := codec.Width()
+	lambda := m.ExpectedUpsets(len(data)*width, hours)
+
+	encoded := make([]uint64, len(data))
+	for i, v := range data {
+		encoded[i] = codec.Encode(v)
+	}
+
+	out := make([]EpochResult, epochs)
+	for e := range out {
+		rng := sdrbench.NewRNG(m.Seed, "softerr", codec.Name(), fmt.Sprint(e))
+		r := &out[e]
+		r.Upsets = poisson(rng, lambda)
+		if r.Upsets == 0 {
+			continue
+		}
+		// Apply the upsets to copies of the struck elements only (the
+		// rest of the array is untouched, so metrics reduce to the
+		// struck set).
+		var sumRel float64
+		var nRel int
+		for u := 0; u < r.Upsets; u++ {
+			idx := rng.Intn(len(data))
+			bit := rng.Intn(width)
+			faultyBits := bitflip.Flip(encoded[idx], bit)
+			faulty := codec.Decode(faultyBits)
+			p := qcat.Point(data[idx], faulty)
+			if p.Catastrophic {
+				r.Catastrophic++
+				continue
+			}
+			if p.RelErr > r.MaxRelErr {
+				r.MaxRelErr = p.RelErr
+			}
+			sumRel += p.RelErr
+			nRel++
+		}
+		if nRel > 0 {
+			r.MRED = sumRel / float64(nRel)
+		}
+	}
+	return out, nil
+}
+
+// Summary aggregates a simulation.
+type Summary struct {
+	Epochs            int
+	MeanUpsets        float64
+	EpochsWithUpsets  int
+	EpochsCatastrophe int
+	// MeanMaxRelErr averages the finite per-epoch maxima over epochs
+	// that saw at least one upset.
+	MeanMaxRelErr float64
+	// WorstRelErr is the largest finite relative error seen anywhere.
+	WorstRelErr float64
+	// CatastropheRate is the fraction of upsets decoding to
+	// NaN/Inf/NaR.
+	CatastropheRate float64
+}
+
+// Summarize reduces epoch results.
+func Summarize(epochs []EpochResult) Summary {
+	s := Summary{Epochs: len(epochs)}
+	var sumMax float64
+	var nMax int
+	totalUpsets, totalCat := 0, 0
+	for _, e := range epochs {
+		s.MeanUpsets += float64(e.Upsets)
+		totalUpsets += e.Upsets
+		totalCat += e.Catastrophic
+		if e.Upsets > 0 {
+			s.EpochsWithUpsets++
+		}
+		if e.Catastrophic > 0 {
+			s.EpochsCatastrophe++
+		}
+		if e.Upsets > e.Catastrophic {
+			sumMax += e.MaxRelErr
+			nMax++
+			if e.MaxRelErr > s.WorstRelErr {
+				s.WorstRelErr = e.MaxRelErr
+			}
+		}
+	}
+	if len(epochs) > 0 {
+		s.MeanUpsets /= float64(len(epochs))
+	}
+	if nMax > 0 {
+		s.MeanMaxRelErr = sumMax / float64(nMax)
+	}
+	if totalUpsets > 0 {
+		s.CatastropheRate = float64(totalCat) / float64(totalUpsets)
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package softerr
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+)
+
+func codec(t *testing.T, name string) numfmt.Codec {
+	t.Helper()
+	c, err := numfmt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExpectedUpsets(t *testing.T) {
+	m := Model{FITPerBit: 100} // 100 FIT/bit (absurdly high, for math)
+	// 1e9 bit-hours at 100 FIT/bit → 100 expected upsets.
+	if got := m.ExpectedUpsets(1_000_000, 1000); got != 100 {
+		t.Errorf("ExpectedUpsets = %v", got)
+	}
+	if m.ExpectedUpsets(0, 5) != 0 {
+		t.Error("zero bits")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := sdrbench.NewRNG(1, "poisson-test")
+	for _, lambda := range []float64{0.3, 3, 12, 80} {
+		const n = 30000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := float64(poisson(rng, lambda))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.05 {
+			t.Errorf("λ=%v: mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.1 {
+			t.Errorf("λ=%v: variance %v", lambda, variance)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("non-positive λ should yield 0")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	m := Model{FITPerBit: 1e6, Seed: 7} // high rate so upsets occur
+	a, err := Simulate(m, codec(t, "posit32"), data, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(m, codec(t, "posit32"), data, 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("simulation not deterministic")
+	}
+	c, _ := Simulate(Model{FITPerBit: 1e6, Seed: 8}, codec(t, "posit32"), data, 100, 50)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical runs")
+	}
+}
+
+func TestSimulateUpsetCounts(t *testing.T) {
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	// λ = 1e3 FIT × 32000 bits × 31.25 h / 1e9 = 1 upset per epoch.
+	m := Model{FITPerBit: 1e3, Seed: 1}
+	res, err := Simulate(m, codec(t, "ieee32"), data, 31.25, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(res)
+	if math.Abs(s.MeanUpsets-1) > 0.2 {
+		t.Errorf("mean upsets %v, want ≈ 1", s.MeanUpsets)
+	}
+	if s.EpochsWithUpsets == 0 || s.EpochsWithUpsets == len(res) {
+		t.Errorf("upset epochs %d of %d implausible for λ=1", s.EpochsWithUpsets, len(res))
+	}
+}
+
+// TestPositVsIEEESoftErrorRate: over the same upset process, IEEE
+// arrays suffer larger worst-case relative corruption than posit
+// arrays (the paper's thesis expressed as a rate).
+func TestPositVsIEEESoftErrorRate(t *testing.T) {
+	f, err := sdrbench.Lookup("Hurricane/Vf30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := sdrbench.ToFloat64(f.Generate(5000, 1))
+	// λ ≈ 3 upsets per epoch: 1e5 FIT × 160k bits × 0.1875 h / 1e9.
+	m := Model{FITPerBit: 1e5, Seed: 3}
+	pRes, err := Simulate(m, codec(t, "posit32"), data, 0.1875, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iRes, err := Simulate(m, codec(t, "ieee32"), data, 0.1875, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, i := Summarize(pRes), Summarize(iRes)
+	if p.MeanUpsets < 1 {
+		t.Fatalf("mean upsets %v too low for the assertion", p.MeanUpsets)
+	}
+	if !(i.WorstRelErr > 1e6*p.WorstRelErr) {
+		t.Errorf("expected IEEE worst rel err ≫ posit: posit %g ieee %g",
+			p.WorstRelErr, i.WorstRelErr)
+	}
+	if p.CatastropheRate > i.CatastropheRate {
+		t.Errorf("posit catastrophe rate %v exceeds IEEE's %v",
+			p.CatastropheRate, i.CatastropheRate)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m := Model{FITPerBit: 1}
+	if _, err := Simulate(m, codec(t, "posit32"), nil, 1, 1); err == nil {
+		t.Error("empty data should error")
+	}
+	if _, err := Simulate(m, codec(t, "posit32"), []float64{1}, 1, 0); err == nil {
+		t.Error("zero epochs should error")
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	s := Summarize(nil)
+	if s.Epochs != 0 || s.MeanUpsets != 0 {
+		t.Error("empty summary")
+	}
+	s = Summarize([]EpochResult{
+		{Upsets: 2, MaxRelErr: 0.5, Catastrophic: 0},
+		{Upsets: 1, MaxRelErr: math.Inf(1), Catastrophic: 1},
+		{Upsets: 0},
+	})
+	if s.EpochsWithUpsets != 2 || s.EpochsCatastrophe != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.MeanMaxRelErr != 0.5 || s.WorstRelErr != 0.5 {
+		t.Errorf("rel errs: %+v", s)
+	}
+	if math.Abs(s.CatastropheRate-1.0/3) > 1e-12 {
+		t.Errorf("catastrophe rate: %v", s.CatastropheRate)
+	}
+}

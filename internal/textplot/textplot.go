@@ -1,0 +1,334 @@
+// Package textplot renders the paper's figures as plain text: semilog
+// line charts for the per-bit error curves (Figs. 3, 10, 11, 14, 16,
+// 18), box plots for the sign-bit study (Fig. 20), and aligned tables
+// (Table 1). It also exports series as TSV for external plotting.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"positres/internal/stats"
+)
+
+// Series is one named curve: Y[i] plotted at X[i].
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders one or more series on a shared axis grid.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); non-positive and non-finite points are
+	// skipped (rendered as gaps), as in the paper's log-scale figures.
+	LogY   bool
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	Series []Series
+}
+
+// seriesGlyphs mark points of successive series.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart.
+func (c *LineChart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	type pt struct {
+		x, y float64
+		s    int
+	}
+	var pts []pt
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for si, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			x := s.X[i]
+			pts = append(pts, pt{x, y, si})
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no plottable points)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, p := range pts {
+		col := int((p.x - xmin) / (xmax - xmin) * float64(w-1))
+		row := h - 1 - int((p.y-ymin)/(ymax-ymin)*float64(h-1))
+		g := seriesGlyphs[p.s%len(seriesGlyphs)]
+		if grid[row][col] != ' ' && grid[row][col] != g {
+			grid[row][col] = '?' // overlapping series
+		} else {
+			grid[row][col] = g
+		}
+	}
+	yfmt := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("1e%+05.1f", v)
+		}
+		return fmt.Sprintf("%8.3g", v)
+	}
+	for r := 0; r < h; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		label := "        "
+		if r == 0 || r == h-1 || r == h/2 {
+			label = yfmt(yv)
+		}
+		fmt.Fprintf(&b, "%8s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%8s  x: %s    y: %s%s\n", "", c.XLabel, c.YLabel, logNote(c.LogY))
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+func logNote(logy bool) string {
+	if logy {
+		return " (log scale)"
+	}
+	return ""
+}
+
+// TSV exports the chart's series as tab-separated values with a
+// header, one row per x (union over series; missing cells are blank).
+func (c *LineChart) TSV() string {
+	xset := map[float64]bool{}
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range c.Series {
+		b.WriteString("\t")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteString("\t")
+			for i := range s.X {
+				if s.X[i] == x {
+					fmt.Fprintf(&b, "%g", s.Y[i])
+					break
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// BoxPlot renders labeled five-number summaries on a shared
+// (optionally log) scale — the layout of the paper's Fig. 20.
+type BoxPlot struct {
+	Title  string
+	XLabel string
+	LogX   bool
+	Width  int
+	Groups []struct {
+		Label string
+		Box   stats.BoxStats
+	}
+}
+
+// AddGroup appends a labeled box.
+func (p *BoxPlot) AddGroup(label string, b stats.BoxStats) {
+	p.Groups = append(p.Groups, struct {
+		Label string
+		Box   stats.BoxStats
+	}{label, b})
+}
+
+// Render draws one row per group: |----[== M ==]----| between Low and
+// Hi with the interquartile box and median marker.
+func (p *BoxPlot) Render() string {
+	w := p.Width
+	if w <= 0 {
+		w = 64
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	tx := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false
+		}
+		if p.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	ok := false
+	for _, g := range p.Groups {
+		for _, v := range []float64{g.Box.Low, g.Box.Hi} {
+			if t, valid := tx(v); valid {
+				lo, hi = math.Min(lo, t), math.Max(hi, t)
+				ok = true
+			}
+		}
+	}
+	if !ok {
+		b.WriteString("(no plottable boxes)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	col := func(v float64) (int, bool) {
+		t, valid := tx(v)
+		if !valid {
+			return 0, false
+		}
+		return int((t - lo) / (hi - lo) * float64(w-1)), true
+	}
+	for _, g := range p.Groups {
+		line := []byte(strings.Repeat(" ", w))
+		cl, okl := col(g.Box.Low)
+		ch, okh := col(g.Box.Hi)
+		c1, ok1 := col(g.Box.Q1)
+		c3, ok3 := col(g.Box.Q3)
+		cm, okm := col(g.Box.Median)
+		if okl && okh {
+			for i := cl; i <= ch; i++ {
+				line[i] = '-'
+			}
+			line[cl], line[ch] = '|', '|'
+		}
+		if ok1 && ok3 {
+			for i := c1; i <= c3; i++ {
+				line[i] = '='
+			}
+			line[c1], line[c3] = '[', ']'
+		}
+		if okm {
+			line[cm] = 'M'
+		}
+		fmt.Fprintf(&b, "%-12s %s  (n=%d, med=%.3g)\n", g.Label, string(line), g.Box.N, g.Box.Median)
+	}
+	scale := ""
+	if p.LogX {
+		scale = " (log scale)"
+	}
+	fmt.Fprintf(&b, "%-12s %-*.3g%*.3g\n", "", w/2, unTx(lo, p.LogX), w-w/2, unTx(hi, p.LogX))
+	fmt.Fprintf(&b, "%-12s %s%s\n", "", p.XLabel, scale)
+	return b.String()
+}
+
+func unTx(v float64, logx bool) float64 {
+	if logx {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render draws the table with a header separator.
+func (t *Table) Render() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

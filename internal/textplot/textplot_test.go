@@ -1,0 +1,122 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"positres/internal/stats"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	c := &LineChart{
+		Title:  "demo",
+		XLabel: "bit",
+		YLabel: "err",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "*", "+", "a\n", "b\n", "x: bit", "y: err"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLineChartLogY(t *testing.T) {
+	c := &LineChart{
+		LogY:   true,
+		YLabel: "rel err",
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2, 3, 4},
+			Y:    []float64{1e-3, 1, 1e3, -5, math.NaN()}, // negatives & NaN skipped
+		}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "log scale") {
+		t.Error("log note missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points drawn")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if !strings.Contains(c.Render(), "no plottable points") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestLineChartConstant(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	c := &LineChart{Series: []Series{{Name: "c", X: []float64{5}, Y: []float64{7}}}}
+	if out := c.Render(); !strings.Contains(out, "*") {
+		t.Errorf("single point chart:\n%s", out)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	c := &LineChart{
+		Series: []Series{
+			{Name: "p", X: []float64{0, 1}, Y: []float64{0.5, 1.5}},
+			{Name: "q", X: []float64{1, 2}, Y: []float64{9, 8}},
+		},
+	}
+	tsv := c.TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if lines[0] != "x\tp\tq" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows: %v", lines)
+	}
+	if lines[1] != "0\t0.5\t" || lines[2] != "1\t1.5\t9" || lines[3] != "2\t\t8" {
+		t.Errorf("body: %q", lines[1:])
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	p := &BoxPlot{Title: "sign error", XLabel: "abs err", LogX: true}
+	p.AddGroup("k=1", stats.Box([]float64{1, 2, 3, 4, 5}))
+	p.AddGroup("k=2", stats.Box([]float64{100, 200, 300}))
+	out := p.Render()
+	for _, want := range []string{"sign error", "k=1", "k=2", "M", "[", "]", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("box plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	p := &BoxPlot{}
+	p.AddGroup("none", stats.Box(nil))
+	if !strings.Contains(p.Render(), "no plottable boxes") {
+		t.Error("empty box plot should say so")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("be", "22222")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// Columns align: "alpha" is the widest first column.
+	if !strings.HasPrefix(lines[2], "alpha  1") {
+		t.Errorf("row: %q", lines[2])
+	}
+}
