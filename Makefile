@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench report report-paper fuzz examples clean
+.PHONY: all build test test-short vet lint race ci bench report report-paper fuzz fuzz-short examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,20 @@ test:
 # Skips the heaviest exhaustive substrate checks.
 test-short:
 	$(GO) test -short ./...
+
+# Domain-aware static analysis (see docs/LINT.md). Non-zero exit on
+# any unsuppressed diagnostic, so this gates CI.
+lint:
+	$(GO) run ./cmd/positlint ./...
+
+# Race-detector pass over the short test path (the campaign worker
+# pools run at 1/2/8 workers under these tests).
+race:
+	$(GO) test -race -short ./...
+
+# Full local CI pipeline: fmt, vet, build, lint, tests, race.
+ci:
+	./scripts/ci.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +51,16 @@ fuzz:
 	$(GO) test -fuzz FuzzAddAgainstRat -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzQuireFMA -fuzztime 30s ./internal/posit/
+
+# Smoke-test the fuzzers (5s each) — quick enough for every PR.
+# -run '^$' skips the package's (heavy, exhaustive) unit tests so each
+# invocation is the 5s fuzz pass and nothing else.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 5s ./internal/posit/
+	$(GO) test -run '^$$' -fuzz FuzzDecodersAgree -fuzztime 5s ./internal/posit/
+	$(GO) test -run '^$$' -fuzz FuzzAddAgainstRat -fuzztime 5s ./internal/posit/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/posit/
+	$(GO) test -run '^$$' -fuzz FuzzQuireFMA -fuzztime 5s ./internal/posit/
 
 examples:
 	$(GO) run ./examples/quickstart

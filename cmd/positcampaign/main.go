@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -128,7 +129,7 @@ func report(res *core.Result, elapsed time.Duration, outDir string) {
 		fatal(err)
 	}
 	if err := core.WriteTrialsCSV(out, res.Trials); err != nil {
-		out.Close()
+		_ = out.Close() // the write error is the one worth reporting
 		fatal(err)
 	}
 	if err := out.Close(); err != nil {
@@ -181,7 +182,7 @@ func printSummary(res *core.Result) {
 	fmt.Print(t.Render())
 }
 
-func isBad(v float64) bool { return v != v || v > 1e308 || v < -1e308 }
+func isBad(v float64) bool { return math.IsNaN(v) || v > 1e308 || v < -1e308 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "positcampaign:", err)

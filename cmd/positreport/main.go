@@ -155,7 +155,7 @@ func offline(dir string) error {
 			return err
 		}
 		trials, err := core.ReadTrialsCSV(f)
-		f.Close()
+		_ = f.Close() // read-only handle; the CSV error below dominates
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -35,6 +35,7 @@ func checksum(words []uint64) uint32 {
 	var buf [8]byte
 	for _, w := range words {
 		binary.LittleEndian.PutUint64(buf[:], w)
+		//positlint:ignore errdrop hash.Hash.Write is documented to never return an error
 		h.Write(buf[:])
 	}
 	return h.Sum32()

@@ -213,13 +213,13 @@ func FaultyArrayStats(base stats.Summary, data []float64, tr Trial) stats.Summar
 	switch {
 	case nv > base.Max:
 		out.Max = nv
-	case old == base.Max && nv < old:
+	case sameBits(old, base.Max) && nv < old:
 		out.Max = recompute(data, tr.Index, nv, true)
 	}
 	switch {
 	case nv < base.Min:
 		out.Min = nv
-	case old == base.Min && nv > old:
+	case sameBits(old, base.Min) && nv > old:
 		out.Min = recompute(data, tr.Index, nv, false)
 	}
 	// Variance shift via sum-of-squares update.
@@ -236,6 +236,12 @@ func FaultyArrayStats(base stats.Summary, data []float64, tr Trial) stats.Summar
 	out.Median = stats.Median(tmp)
 	return out
 }
+
+// sameBits is an exact identity check on float64 representations,
+// used to detect whether the displaced element *was* the tracked
+// extreme (bit-pattern equality, the comparison positlint's floatcmp
+// rule prescribes for identity tracking).
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 
 func recompute(data []float64, skip int, replacement float64, wantMax bool) float64 {
 	best := replacement

@@ -2,6 +2,7 @@ package figures
 
 import (
 	"fmt"
+	"math"
 
 	"positres/internal/kernels"
 	"positres/internal/textplot"
@@ -73,7 +74,7 @@ func ProtectionTable(b Budget) *textplot.Table {
 					t.AddRow(solver, codecName, fmt.Sprintf("%d", bit),
 						fmt.Sprintf("%v", protected),
 						fmt.Sprintf("%.3g", row.Faulty.SolutionErr),
-						fmt.Sprintf("%v", row.Faulty.SolutionErr == row.Clean.SolutionErr),
+						fmt.Sprintf("%v", math.Float64bits(row.Faulty.SolutionErr) == math.Float64bits(row.Clean.SolutionErr)),
 						fmt.Sprintf("%d", row.Faulty.Corrected))
 				}
 			}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop inspects goroutine-spawning loops — the shape of every
+// worker pool in internal/core, internal/stats and internal/figures.
+// Two hazards fire:
+//
+//   - the spawned func literal captures the loop variable instead of
+//     taking it as an argument. Go 1.22 made range variables
+//     per-iteration, but the repo's analyzers and examples are read as
+//     reference implementations of the paper's campaign; the
+//     pass-as-argument form is the only one whose correctness does not
+//     depend on toolchain version, so the lint enforces it;
+//
+//   - the enclosing function receives a context.Context but the
+//     spawned goroutine never consults it (no ctx use, so no
+//     cancellation path): under sharded campaigns a cancelled job must
+//     not keep burning cores.
+type CtxLoop struct{}
+
+// NewCtxLoop returns the rule.
+func NewCtxLoop() *CtxLoop { return &CtxLoop{} }
+
+// ID implements Rule.
+func (*CtxLoop) ID() string { return "ctxloop" }
+
+// Doc implements Rule.
+func (*CtxLoop) Doc() string {
+	return "flags goroutine loops that capture the loop variable or ignore a ctx parameter"
+}
+
+// Check implements Rule.
+func (r *CtxLoop) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	walkFuncs(pass, func(_ string, ftype *ast.FuncType, body *ast.BlockStmt) {
+		ctxObjs := contextParams(pass, ftype)
+		ast.Inspect(body, func(n ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			loopVars := map[types.Object]bool{}
+			switch loop := n.(type) {
+			case *ast.RangeStmt:
+				loopBody = loop.Body
+				for _, e := range []ast.Expr{loop.Key, loop.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			case *ast.ForStmt:
+				loopBody = loop.Body
+				if as, ok := loop.Init.(*ast.AssignStmt); ok {
+					for _, e := range as.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								loopVars[obj] = true
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			ast.Inspect(loopBody, func(m ast.Node) bool {
+				gs, ok := m.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lit, ok := gs.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true // go f(args): args evaluate at spawn time
+				}
+				if len(loopVars) > 0 && usesAnyObject(pass, lit.Body, loopVars) {
+					out = append(out, pass.Diag(r, gs.Pos(),
+						"goroutine captures a loop variable; pass it as an argument so correctness does not depend on per-iteration semantics"))
+				}
+				if len(ctxObjs) > 0 && !usesAnyObject(pass, lit.Body, ctxObjs) &&
+					!usesAnyObject(pass, gs.Call, ctxObjs) {
+					out = append(out, pass.Diag(r, gs.Pos(),
+						"goroutine spawned in a loop never consults the enclosing function's context.Context; it cannot be cancelled"))
+				}
+				return true
+			})
+			return true
+		})
+	})
+	return out
+}
+
+// contextParams collects the context.Context-typed parameter objects
+// of a function signature.
+func contextParams(pass *Pass, ftype *ast.FuncType) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	if ftype == nil || ftype.Params == nil {
+		return objs
+	}
+	for _, field := range ftype.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				objs[obj] = true
+			}
+		}
+	}
+	return objs
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements that call a function returning an error
+// and discard every result. A dropped error in the campaign pipeline
+// means a trial, a CSV row or a figure silently vanishes from the
+// statistics. Handle the error or assign it to _ explicitly (the
+// blank assignment is greppable intent; a bare call is
+// indistinguishable from an oversight).
+//
+// Exempt without suppression:
+//   - *_test.go files (not linted at all);
+//   - deferred calls (the `defer f.Close()` idiom);
+//   - fmt's print family (terminal/report output; failures there are
+//     untracked by convention across the repo's CLIs);
+//   - methods on strings.Builder and bytes.Buffer, which are
+//     documented never to return a non-nil error.
+type ErrDrop struct{}
+
+// NewErrDrop returns the rule.
+func NewErrDrop() *ErrDrop { return &ErrDrop{} }
+
+// ID implements Rule.
+func (*ErrDrop) ID() string { return "errdrop" }
+
+// Doc implements Rule.
+func (*ErrDrop) Doc() string {
+	return "flags call statements that discard an error result"
+}
+
+// Check implements Rule.
+func (r *ErrDrop) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(pass, call) || allowedDrop(pass, call) {
+				return true
+			}
+			out = append(out, pass.Diag(r, call.Pos(),
+				"error result of %s is discarded; handle it or assign it to _ explicitly", exprString(call.Fun)))
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch res := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+// allowedDrop implements the conventional exemptions.
+func allowedDrop(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if n, ok := recv.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}

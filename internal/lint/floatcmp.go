@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// FloatCmp flags == and != between floating-point operands. Raw float
+// equality is how reproduction bugs hide: two decode paths can differ
+// by one ULP and still "pass" sometimes, or a NaN can make every
+// comparison false. Campaign and analysis code must compare bit
+// patterns (EncodeFloat64 results) or use a tolerance/ULP comparator.
+//
+// Allowed without a suppression:
+//   - comparison against the exact constant 0 (zero is a distinguished
+//     exact encoding in every format the paper studies: ±0 ↔ posit 0);
+//   - comparisons inside functions whose name matches AllowFuncs —
+//     the tolerance/ULP comparator helpers themselves.
+type FloatCmp struct {
+	// AllowFuncs matches enclosing function names that are allowed to
+	// compare floats exactly (the comparator helpers).
+	AllowFuncs *regexp.Regexp
+}
+
+// NewFloatCmp returns the rule with the default comparator allowlist.
+func NewFloatCmp() *FloatCmp {
+	return &FloatCmp{AllowFuncs: regexp.MustCompile(`(?i)(ulp|almost|approx|within|toler|samefloat|biteq)`)}
+}
+
+// ID implements Rule.
+func (*FloatCmp) ID() string { return "floatcmp" }
+
+// Doc implements Rule.
+func (*FloatCmp) Doc() string {
+	return "flags ==/!= on float operands outside tolerance/ULP comparator helpers"
+}
+
+// Check implements Rule.
+func (r *FloatCmp) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	walkFuncs(pass, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+		if r.AllowFuncs != nil && r.AllowFuncs.MatchString(name) {
+			return
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if xt == nil || yt == nil || (!isFloat(xt) && !isFloat(yt)) {
+				return true
+			}
+			// Exact-zero checks are a deliberate domain idiom.
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true
+			}
+			// Both sides constant: folded at compile time, not a
+			// runtime reproduction hazard.
+			if pass.Info.Types[be.X].Value != nil && pass.Info.Types[be.Y].Value != nil {
+				return true
+			}
+			out = append(out, pass.Diag(r, be.OpPos,
+				"float equality (%s): compare encoded bit patterns or use a tolerance/ULP comparator", be.Op))
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for linting.
+type Package struct {
+	Path  string // import path ("positres/internal/posit") or load dir
+	Dir   string // absolute directory
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	rel func(token.Position) token.Position
+}
+
+func (p *Package) pass() *Pass {
+	return &Pass{Fset: p.Fset, Path: p.Path, Pkg: p.Pkg, Info: p.Info, Files: p.Files, rel: p.rel}
+}
+
+// Module is a loaded Go module: every non-test package under its root.
+type Module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Pkgs []*Package
+}
+
+// FindModuleRoot walks upward from dir to the directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				rest = p
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (skipping testdata, vendor, hidden and underscore directories).
+// Test files are deliberately excluded: exact-equality assertions are
+// the point of bit-exact reproduction tests, and the substrate rules
+// target production code paths.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		path    string
+		dir     string
+		name    string
+		files   []*ast.File
+		imports []string
+	}
+	raw := map[string]*rawPkg{}
+
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+			base == "testdata" || base == "vendor") {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		relDir, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		importPath := modPath
+		if relDir != "." {
+			importPath = modPath + "/" + filepath.ToSlash(relDir)
+		}
+		rp := &rawPkg{path: importPath, dir: path, name: files[0].Name.Name, files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, _ := strconv.Unquote(imp.Path.Value)
+				if strings.HasPrefix(ip, modPath+"/") || ip == modPath {
+					rp.imports = append(rp.imports, ip)
+				}
+			}
+		}
+		raw[importPath] = rp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologically order by intra-module imports so every dependency
+	// is type-checked before its importers.
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p)
+		case 2:
+			return nil
+		}
+		state[p] = 1
+		rp := raw[p]
+		deps := append([]string(nil), rp.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if raw[dep] == nil {
+				continue // stdlib or missing; the importer handles it
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+		return nil
+	}
+	var paths []string
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	mod := &Module{Root: root, Path: modPath}
+	cache := map[string]*types.Package{}
+	rel := relativizer(root)
+	for _, p := range order {
+		rp := raw[p]
+		pkg, info, err := check(fset, rp.path, rp.files, cache)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", rp.path, err)
+		}
+		cache[rp.path] = pkg
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			Path: rp.path, Dir: rp.dir, Name: rp.name,
+			Fset: fset, Files: rp.files, Pkg: pkg, Info: info, rel: rel,
+		})
+	}
+	sort.Slice(mod.Pkgs, func(i, j int) bool { return mod.Pkgs[i].Path < mod.Pkgs[j].Path })
+	return mod, nil
+}
+
+// LoadDir parses and type-checks a single directory as a standalone
+// package (used for lint's own testdata fixtures and ad-hoc targets
+// outside the module package graph). Imports resolve against the
+// standard library only.
+func LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, info, err := check(fset, dir, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		Path: dir, Dir: dir, Fset: fset, Name: files[0].Name.Name,
+		Files: files, Pkg: pkg, Info: info, rel: relativizer(dir),
+	}, nil
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// chainImporter serves intra-module packages from the cache and
+// everything else (the standard library) from the compiler importer.
+type chainImporter struct {
+	cache map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.cache[path]; ok {
+		return pkg, nil
+	}
+	return c.std.Import(path)
+}
+
+// check type-checks one package with full types.Info.
+func check(fset *token.FileSet, path string, files []*ast.File, cache map[string]*types.Package) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: &chainImporter{cache: cache, std: importer.Default()},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// relativizer rewrites absolute positions to base-relative paths.
+func relativizer(base string) func(token.Position) token.Position {
+	return func(pos token.Position) token.Position {
+		if r, err := filepath.Rel(base, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			pos.Filename = filepath.ToSlash(r)
+		}
+		return pos
+	}
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NaRCheck flags functions that feed a posit decode result straight
+// into arithmetic without any NaR/NaN guard. NaR decodes to NaN, and
+// NaN silently poisons every downstream error metric (all comparisons
+// false, means become NaN), which is exactly how a campaign can
+// under-count catastrophic flips. A function that computes with a
+// decode result must consult IsNaR / IsSpecial / math.IsNaN /
+// math.IsInf somewhere; functions that merely store or forward the
+// result delegate the obligation to the consumer.
+//
+// Decode sources recognised:
+//   - calls to functions named DecodeFloat64 or DecodeEq2;
+//   - calls to methods named Decode with signature func(uint64) float64
+//     (the numfmt.Codec contract).
+//
+// Guards recognised anywhere in the same function: calls to functions
+// or methods named IsNaR, IsSpecial, IsNaN or IsInf.
+type NaRCheck struct{}
+
+// NewNaRCheck returns the rule.
+func NewNaRCheck() *NaRCheck { return &NaRCheck{} }
+
+// ID implements Rule.
+func (*NaRCheck) ID() string { return "narcheck" }
+
+// Doc implements Rule.
+func (*NaRCheck) Doc() string {
+	return "flags arithmetic on posit decode results with no IsNaR/IsNaN guard in the function"
+}
+
+// Check implements Rule.
+func (r *NaRCheck) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	walkFuncs(pass, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+		decodes := decodeCalls(pass, body)
+		if len(decodes) == 0 || hasNaRGuard(pass, body) {
+			return
+		}
+		// Objects holding a decode result: v := codec.Decode(b).
+		resultObjs := map[types.Object]bool{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !decodes[call] {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						resultObjs[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						resultObjs[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		// Arithmetic consumption: a decode call (or a variable holding
+		// one) as operand of +, -, *, / — including the compound
+		// assignment forms (acc += decode(...)).
+		ast.Inspect(body, func(n ast.Node) bool {
+			var operands []ast.Expr
+			var pos token.Pos
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					operands, pos = []ast.Expr{e.X, e.Y}, e.OpPos
+				default:
+					return true
+				}
+			case *ast.AssignStmt:
+				switch e.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					operands, pos = e.Rhs, e.TokPos
+				default:
+					return true
+				}
+			default:
+				return true
+			}
+			for _, operand := range operands {
+				operand = ast.Unparen(operand)
+				if call, ok := operand.(*ast.CallExpr); ok && decodes[call] {
+					out = append(out, pass.Diag(r, pos,
+						"arithmetic on posit decode result %s with no NaR/NaN guard in this function (NaR decodes to NaN and poisons error metrics)", exprString(operand)))
+					continue
+				}
+				if id, ok := operand.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && resultObjs[obj] {
+						out = append(out, pass.Diag(r, pos,
+							"arithmetic on %s, which holds a posit decode result, with no NaR/NaN guard in this function", id.Name))
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// decodeCalls finds the decode-source call expressions in body.
+func decodeCalls(pass *Pass, body ast.Node) map[*ast.CallExpr]bool {
+	calls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		switch fn.Name() {
+		case "DecodeFloat64", "DecodeEq2":
+			calls[call] = true
+		case "Decode":
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				sig.Params().Len() == 1 && sig.Results().Len() == 1 &&
+				isBasicKind(sig.Params().At(0).Type(), types.Uint64) &&
+				isBasicKind(sig.Results().At(0).Type(), types.Float64) {
+				calls[call] = true
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+// hasNaRGuard reports whether body calls any special-value predicate.
+func hasNaRGuard(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass, call); fn != nil {
+			switch fn.Name() {
+			case "IsNaR", "IsSpecial", "IsNaN", "IsInf":
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isBasicKind reports whether t's underlying type is the given basic
+// kind.
+func isBasicKind(t types.Type, kind types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShiftRange flags shift expressions that can shift by the operand
+// width or more. The posit regime/fraction extraction hot spots
+// (internal/posit/decode.go, encode.go, internal/bitflip) build masks
+// and significands from field-derived lengths; a count that reaches
+// the operand width silently yields 0 (Go defines over-wide shifts as
+// zero) and a negative signed count panics at run time — both corrupt
+// bit-exact reproduction without any error.
+//
+// Two cases fire:
+//   - a constant-folded count that is negative or >= the operand's
+//     bit width (a definite bug);
+//   - a non-constant count of *signed* integer type with no guard in
+//     the enclosing function (no comparison, mask or %-bound that
+//     mentions the count's variables). Wrapping the count in a uint
+//     conversion after range-checking it is the idiom this repo uses
+//     and is never flagged.
+type ShiftRange struct{}
+
+// NewShiftRange returns the rule.
+func NewShiftRange() *ShiftRange { return &ShiftRange{} }
+
+// ID implements Rule.
+func (*ShiftRange) ID() string { return "shiftrange" }
+
+// Doc implements Rule.
+func (*ShiftRange) Doc() string {
+	return "flags shift counts that can equal/exceed the operand width or go negative"
+}
+
+// Check implements Rule.
+func (r *ShiftRange) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	walkFuncs(pass, func(_ string, _ *ast.FuncType, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			var x, count ast.Expr
+			var pos token.Pos
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.SHL && e.Op != token.SHR {
+					return true
+				}
+				x, count, pos = e.X, e.Y, e.OpPos
+			case *ast.AssignStmt:
+				if e.Tok != token.SHL_ASSIGN && e.Tok != token.SHR_ASSIGN || len(e.Lhs) != 1 {
+					return true
+				}
+				x, count, pos = e.Lhs[0], e.Rhs[0], e.TokPos
+			default:
+				return true
+			}
+			out = append(out, r.checkShift(pass, body, x, count, pos)...)
+			return true
+		})
+	})
+	return out
+}
+
+func (r *ShiftRange) checkShift(pass *Pass, body *ast.BlockStmt, x, count ast.Expr, pos token.Pos) []Diagnostic {
+	xt := pass.TypeOf(x)
+	width := intWidth(xt)
+	if width == 0 {
+		return nil // non-basic operand (generics); nothing to prove
+	}
+	if c, ok := constIntVal(pass, count); ok {
+		if c < 0 {
+			return []Diagnostic{pass.Diag(r, pos,
+				"constant shift count %d is negative", c)}
+		}
+		if c >= int64(width) {
+			return []Diagnostic{pass.Diag(r, pos,
+				"constant shift count %d >= width of %s (%d bits): the shift always yields 0", c, types.TypeString(xt, nil), width)}
+		}
+		return nil
+	}
+	ct := pass.TypeOf(count)
+	if ct == nil || !isSignedInt(ct) {
+		return nil // unsigned count: the uint() conversion idiom marks a vetted range
+	}
+	objs := rootObjects(pass, count)
+	if len(objs) == 0 || guardedIn(pass, body, objs) {
+		return nil
+	}
+	return []Diagnostic{pass.Diag(r, pos,
+		"signed shift count %s is unguarded: a negative count panics and one >= %d bits yields 0; bound it (or convert through uint after checking)", exprString(count), width)}
+}
+
+// guardedIn reports whether any of objs appears in a comparison,
+// &-mask or %-bound anywhere in body — evidence the author bounded
+// the count before shifting.
+func guardedIn(pass *Pass, body *ast.BlockStmt, objs map[types.Object]bool) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ,
+			token.AND, token.REM:
+			if usesAnyObject(pass, be.X, objs) || usesAnyObject(pass, be.Y, objs) {
+				guarded = true
+			}
+		}
+		return true
+	})
+	return guarded
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockNames are the sync types that must never be copied after first
+// use. Copying one forks its internal state: a copied Mutex unlocks
+// nothing, a copied WaitGroup waits on nothing — both turn campaign
+// worker-pool bugs into silent statistical corruption.
+var lockNames = []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map"}
+
+// containsLock reports whether a value of type t embeds (directly or
+// through struct/array nesting) one of the sync lock types by value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	for _, name := range lockNames {
+		if namedSyncType(t, name) {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockBearing(t types.Type) bool { return containsLock(t, map[types.Type]bool{}) }
+
+// MutexCopy flags by-value copies of sync.Mutex / sync.WaitGroup /
+// sync.RWMutex / sync.Once / sync.Cond / sync.Pool / sync.Map bearing
+// values: by-value parameters, receivers and results, assignments
+// from existing values, and by-value range over slices/arrays of
+// such types. (go vet's copylocks covers a superset of the assignment
+// cases; this rule keeps the check inside positlint so `make lint`
+// alone enforces the paper's concurrency invariants.)
+type MutexCopy struct{}
+
+// NewMutexCopy returns the rule.
+func NewMutexCopy() *MutexCopy { return &MutexCopy{} }
+
+// ID implements Rule.
+func (*MutexCopy) ID() string { return "mutexcopy" }
+
+// Doc implements Rule.
+func (*MutexCopy) Doc() string {
+	return "flags by-value copies of sync.Mutex/WaitGroup-bearing values"
+}
+
+// Check implements Rule.
+func (r *MutexCopy) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	flag := func(pos ast.Node, what string, t types.Type) {
+		out = append(out, pass.Diag(r, pos.Pos(),
+			"%s copies %s by value; share it with a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg))))
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lockBearing(t) {
+				flag(field.Type, what, t)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(d.Recv, "receiver")
+				checkFieldList(d.Type.Params, "parameter")
+				checkFieldList(d.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(d.Type.Params, "parameter")
+				checkFieldList(d.Type.Results, "result")
+			case *ast.AssignStmt:
+				if len(d.Lhs) != len(d.Rhs) {
+					return true
+				}
+				for i, rhs := range d.Rhs {
+					if id, ok := d.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // blank assignment discards, it does not copy
+					}
+					rhs = ast.Unparen(rhs)
+					switch rhs.(type) {
+					case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+						// Copying an existing value; fresh composite
+						// literals and call results are not re-copies.
+					default:
+						continue
+					}
+					if t := pass.TypeOf(rhs); t != nil && lockBearing(t) {
+						flag(rhs, "assignment", t)
+					}
+				}
+			case *ast.RangeStmt:
+				if d.Value == nil {
+					return true
+				}
+				if t := pass.TypeOf(d.Value); t != nil && lockBearing(t) {
+					flag(d.Value, "range value", t)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// WaitGroup flags wg.Add calls made inside the goroutine the
+// WaitGroup is counting. Add must happen-before the matching Wait;
+// calling it from the spawned goroutine races: Wait can observe the
+// counter at zero and return before the goroutine has registered
+// itself — the classic worker-pool shutdown race.
+type WaitGroup struct{}
+
+// NewWaitGroup returns the rule.
+func NewWaitGroup() *WaitGroup { return &WaitGroup{} }
+
+// ID implements Rule.
+func (*WaitGroup) ID() string { return "waitgroup" }
+
+// Doc implements Rule.
+func (*WaitGroup) Doc() string {
+	return "flags wg.Add called inside the spawned goroutine (races with Wait)"
+}
+
+// Check implements Rule.
+func (r *WaitGroup) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				recv := pass.TypeOf(sel.X)
+				if recv == nil {
+					return true
+				}
+				if p, ok := recv.(*types.Pointer); ok {
+					recv = p.Elem()
+				}
+				if namedSyncType(recv, "WaitGroup") {
+					out = append(out, pass.Diag(r, call.Pos(),
+						"%s inside the spawned goroutine races with Wait; call Add before the go statement", exprString(call.Fun)))
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package all is the end-to-end positlint fixture: it trips every
+// rule exactly once, and the e2e test asserts the exact diagnostic
+// set.
+package all
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+type codec struct{}
+
+func (codec) Decode(b uint64) float64 { return float64(b) }
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func fallible() error { return errors.New("x") }
+
+func trip(ctx context.Context, c codec, g guarded, xs []uint64, out chan<- float64) float64 {
+	var wg sync.WaitGroup
+	for _, b := range xs {
+		go func() {
+			wg.Add(1)
+			defer wg.Done()
+			out <- c.Decode(b)
+		}()
+	}
+	wg.Wait()
+	fallible()
+	acc := 0.0
+	for _, b := range xs {
+		acc += c.Decode(b)
+	}
+	bad := uint64(1)
+	n := g.n
+	bad = bad << n
+	if acc == 1.5 {
+		return acc
+	}
+	return acc
+}

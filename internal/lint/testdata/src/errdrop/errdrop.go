@@ -1,0 +1,54 @@
+// Package errdrop is a positlint test fixture.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, nil }
+
+func dropped() {
+	fallible() // want "error result of fallible is discarded"
+}
+
+func droppedTuple() {
+	twoResults() // want "error result of twoResults is discarded"
+}
+
+func droppedMethod(f *os.File) {
+	f.Sync() // want "error result of f.Sync is discarded"
+}
+
+func handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitBlank() {
+	_ = fallible() // explicit discard is greppable intent
+}
+
+func deferredClose(f *os.File) {
+	defer f.Close() // deferred Close is the conventional idiom
+}
+
+func printFamily(b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("report")
+	fmt.Fprintf(os.Stderr, "report\n")
+	b.WriteString("x")
+	buf.WriteByte('y')
+}
+
+func noError() {
+	helper()
+}
+
+func helper() {}

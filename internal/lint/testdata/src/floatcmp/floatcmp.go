@@ -1,0 +1,45 @@
+// Package floatcmp is a positlint test fixture.
+package floatcmp
+
+func plainEqual(a, b float64) bool {
+	return a == b // want "float equality"
+}
+
+func plainNotEqual(a, b float64) bool {
+	return a != b // want "float equality"
+}
+
+func narrowEqual(a, b float32) bool {
+	return a == b // want "float equality"
+}
+
+func mixedExpr(a, b, c float64) bool {
+	return a+b == c // want "float equality"
+}
+
+func zeroIsAllowed(a float64) bool {
+	return a == 0 // exact-zero checks are a deliberate domain idiom
+}
+
+func zeroLeftIsAllowed(a float64) bool {
+	return 0.0 != a
+}
+
+func diffZeroIsAllowed(a, b float64) bool {
+	return a-b == 0
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func constFoldIsFine() bool {
+	const x = 0.5
+	const y = 0.25
+	return x == y+y
+}
+
+// almostEqualULP is a comparator helper: the allowlist exempts it.
+func almostEqualULP(a, b float64) bool {
+	return a == b // really it would compare ULPs; exempt by name
+}

@@ -1,0 +1,58 @@
+// Package mutexcopy is a positlint test fixture.
+package mutexcopy
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func paramCopy(c counter) int { // want "parameter copies counter by value"
+	return c.n
+}
+
+func (c counter) receiverCopy() int { // want "receiver copies counter by value"
+	return c.n
+}
+
+func resultCopy() counter // want "result copies counter by value"
+
+func wgParam(p pool) { // want "parameter copies pool by value"
+	_ = p
+}
+
+func assignCopy(c *counter) {
+	tmp := *c // want "assignment copies counter by value"
+	_ = tmp
+}
+
+var sink int
+
+func fieldCopy(cs struct{ inner counter }) { // want "parameter copies"
+	out := cs.inner // want "assignment copies counter by value"
+	sink = out.n
+}
+
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want "range value copies counter by value"
+		total += c.n
+	}
+	return total
+}
+
+func pointerIsFine(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func freshLiteralIsFine() *counter {
+	c := counter{}
+	return &c
+}

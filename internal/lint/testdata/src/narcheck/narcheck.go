@@ -1,0 +1,53 @@
+// Package narcheck is a positlint test fixture.
+package narcheck
+
+// codec mimics the numfmt.Codec decode contract.
+type codec struct{}
+
+func (codec) Decode(b uint64) float64 { return float64(b) }
+func (codec) IsNaR(b uint64) bool     { return b == 0x8000 }
+
+// DecodeFloat64 mimics the posit package's free decoder.
+func DecodeFloat64(es int, b uint64) float64 { return float64(b) }
+
+func unguardedVar(c codec, b uint64, orig float64) float64 {
+	v := c.Decode(b)
+	return orig - v // want "holds a posit decode result"
+}
+
+func unguardedDirect(c codec, b uint64, orig float64) float64 {
+	return orig - c.Decode(b) // want "arithmetic on posit decode result"
+}
+
+func unguardedFree(b uint64, orig float64) float64 {
+	return orig / DecodeFloat64(2, b) // want "arithmetic on posit decode result"
+}
+
+func guarded(c codec, b uint64, orig float64) float64 {
+	if c.IsNaR(b) {
+		return 0
+	}
+	v := c.Decode(b)
+	return orig - v // the IsNaR call above guards this function
+}
+
+func guardedMath(c codec, b uint64, orig float64) float64 {
+	v := c.Decode(b)
+	if IsNaN(v) {
+		return 0
+	}
+	return orig - v
+}
+
+// IsNaN stands in for math.IsNaN (guard recognition is name-based).
+func IsNaN(v float64) bool { return v < 0 && v >= 0 }
+
+func storeOnly(c codec, b uint64) float64 {
+	return c.Decode(b) // forwarding without arithmetic delegates the guard
+}
+
+type trial struct{ repr float64 }
+
+func fieldStore(c codec, b uint64, t *trial) {
+	t.repr = c.Decode(b) // stores are fine; the consumer guards
+}

@@ -1,0 +1,58 @@
+// Package shiftrange is a positlint test fixture.
+package shiftrange
+
+type fields struct {
+	FracLen int
+}
+
+func constOverWide(x uint64) uint64 {
+	return x << 64 // want "constant shift count 64"
+}
+
+func constOverWide32(y uint32) uint32 {
+	return y >> 40 // want "constant shift count 40"
+}
+
+func constFolded(x uint64) uint64 {
+	const regime, frac = 40, 24
+	return x << (regime + frac) // want "constant shift count 64"
+}
+
+func shiftAssign(x uint64) uint64 {
+	x <<= 70 // want "constant shift count 70"
+	return x
+}
+
+func constInRange(x uint64) uint64 {
+	return x << 63 // widths up to 63 are fine for uint64
+}
+
+func unguardedSigned(x uint64, n int) uint64 {
+	return x << n // want "signed shift count n is unguarded"
+}
+
+func unguardedField(x uint64, f fields) uint64 {
+	return x >> f.FracLen // want "signed shift count f.FracLen is unguarded"
+}
+
+func guardedSigned(x uint64, n int) uint64 {
+	if n < 0 || n > 63 {
+		return 0
+	}
+	return x << n // the bound check above is the guard
+}
+
+func guardedField(x uint64, f fields) uint64 {
+	if f.FracLen >= 64 {
+		return 0
+	}
+	return x >> f.FracLen
+}
+
+func maskedSigned(x uint64, n int) uint64 {
+	return x << (n & 63) // masking bounds the count
+}
+
+func unsignedIdiom(x uint64, n int) uint64 {
+	return x << uint(n) // explicit uint conversion marks a vetted range
+}

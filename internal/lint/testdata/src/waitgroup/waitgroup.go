@@ -1,0 +1,47 @@
+// Package waitgroup is a positlint test fixture.
+package waitgroup
+
+import "sync"
+
+func addInsideGoroutine(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // want "races with Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func addBeforeSpawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+type job struct{ wg sync.WaitGroup }
+
+func addOnFieldInsideGoroutine(j *job) {
+	go func() {
+		j.wg.Add(1) // want "races with Wait"
+		defer j.wg.Done()
+	}()
+	j.wg.Wait()
+}
+
+// addUnrelated has an Add method that is not sync.WaitGroup's.
+type adder struct{}
+
+func (adder) Add(int) {}
+
+func addNotWaitGroup(a adder) {
+	go func() {
+		a.Add(1) // not a WaitGroup; fine
+	}()
+}

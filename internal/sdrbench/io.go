@@ -51,7 +51,7 @@ func WriteRawFile(path string, data []float32) error {
 		return fmt.Errorf("sdrbench: %w", err)
 	}
 	if err := WriteRaw(f, data); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

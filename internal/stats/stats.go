@@ -275,14 +275,16 @@ func NewHistogram(data []float64, min, max float64, nb int) *Histogram {
 			h.Special++
 		case x < min:
 			h.Under++
-		case x >= max:
-			if x == max {
-				h.Counts[nb-1]++
-			} else {
-				h.Over++
-			}
+		case x > max:
+			h.Over++
 		default:
-			h.Counts[int((x-min)/width)]++
+			// x == max lands at index nb; clamp it into the top bin
+			// (this also absorbs any rounding in (x-min)/width).
+			idx := int((x - min) / width)
+			if idx >= nb {
+				idx = nb - 1
+			}
+			h.Counts[idx]++
 		}
 	}
 	return h

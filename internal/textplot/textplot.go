@@ -78,10 +78,12 @@ func (c *LineChart) Render() string {
 		b.WriteString("(no plottable points)\n")
 		return b.String()
 	}
-	if xmax == xmin {
+	// Guard the axis divisors: a zero-width range would divide by zero
+	// below (exact-zero checks are the precise predicate here).
+	if xmax-xmin == 0 {
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax-ymin == 0 {
 		ymax = ymin + 1
 	}
 	grid := make([][]byte, h)
@@ -156,7 +158,9 @@ func (c *LineChart) TSV() string {
 		for _, s := range c.Series {
 			b.WriteString("\t")
 			for i := range s.X {
-				if s.X[i] == x {
+				// Identity match: x was taken from the union of the
+				// series' own X values, so bit equality is exact.
+				if math.Float64bits(s.X[i]) == math.Float64bits(x) {
 					fmt.Fprintf(&b, "%g", s.Y[i])
 					break
 				}
@@ -225,7 +229,7 @@ func (p *BoxPlot) Render() string {
 		b.WriteString("(no plottable boxes)\n")
 		return b.String()
 	}
-	if hi == lo {
+	if hi-lo == 0 { // zero-width range would divide by zero below
 		hi = lo + 1
 	}
 	col := func(v float64) (int, bool) {

@@ -1,0 +1,53 @@
+#!/bin/sh
+# ci.sh — the full local CI pipeline, invoked by `make ci`.
+#
+# Runs every gate in order and fails fast: formatting, vet, build,
+# positlint (including a self-test that the linter still fires on its
+# fixtures), the short test suite, and the race-detector pass. Each
+# step prints a banner so failures are attributable at a glance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+step=0
+
+banner() {
+	step=$((step + 1))
+	echo ""
+	echo "=== ci [$step] $* ==="
+}
+
+banner "gofmt: no formatting drift"
+fmt_drift=$(gofmt -l .)
+if [ -n "$fmt_drift" ]; then
+	echo "gofmt drift in:"
+	echo "$fmt_drift"
+	exit 1
+fi
+echo "clean"
+
+banner "go vet ./..."
+$GO vet ./...
+
+banner "go build ./..."
+$GO build ./...
+
+banner "positlint ./..."
+$GO run ./cmd/positlint ./...
+
+banner "positlint self-test: fixtures must still trip the rules"
+if $GO run ./cmd/positlint ./internal/lint/testdata/src/all >/dev/null 2>&1; then
+	echo "positlint exited 0 on the all-rules fixture; the analyzer is broken"
+	exit 1
+fi
+echo "fixture trips as expected"
+
+banner "go test -short ./..."
+$GO test -short ./...
+
+banner "go test -race -short ./..."
+$GO test -race -short ./...
+
+echo ""
+echo "=== ci: all $step steps passed ==="
