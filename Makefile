@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race ci bench report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint race ci resume-e2e bench report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -29,9 +29,14 @@ lint:
 race:
 	$(GO) test -race -short ./...
 
-# Full local CI pipeline: fmt, vet, build, lint, tests, race.
+# Full local CI pipeline: fmt, vet, build, lint, tests, race, resume e2e.
 ci:
 	./scripts/ci.sh
+
+# Kill-and-resume end-to-end: crash and SIGINT a real campaign, resume
+# both, require byte-identical CSVs (docs/RESILIENCE.md).
+resume-e2e:
+	./scripts/resume_e2e.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

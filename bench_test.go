@@ -8,6 +8,7 @@ package positres
 // 313-trials-per-bit scale with `-budget paper` there.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -259,7 +260,7 @@ func BenchmarkCampaignTrialThroughput(b *testing.B) {
 	total := 0
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
-		r, err := core.Run(cfg, codec, field.Key(), data)
+		r, err := core.Run(context.Background(), cfg, codec, field.Key(), data)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,45 +3,86 @@
 // at every bit position and logs per-trial error metrics as CSV
 // (paper §4, Fig. 8).
 //
+// With -out the campaign is durable: progress is journaled shard by
+// shard under <out>/journal with a manifest at <out>/manifest.json, so
+// a crashed or interrupted run continues with -resume and produces
+// CSVs byte-identical to an uninterrupted run (docs/RESILIENCE.md).
+//
 // Usage:
 //
 //	positcampaign -field Nyx/temperature -formats posit32,ieee32 -out logs/
 //	positcampaign -field all -trials 313 -n 2000000 -out logs/
+//	positcampaign -field all -out logs/ -resume
 //	positcampaign -field HACC/vx -data vx.f32 -formats posit32 -out logs/
+//
+// Exit codes: 0 complete; 1 fatal error; 2 usage; 3 partial (one or
+// more shards failed permanently — see manifest.json); 130 interrupted
+// (SIGINT/SIGTERM; progress journaled).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"positres/internal/atomicio"
 	"positres/internal/core"
 	"positres/internal/numfmt"
+	"positres/internal/runner"
 	"positres/internal/sdrbench"
 	"positres/internal/textplot"
 )
 
-func main() {
+// Exit codes of the campaign process.
+const (
+	exitOK        = 0
+	exitFatal     = 1
+	exitUsage     = 2
+	exitPartial   = 3
+	exitInterrupt = 130
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		fieldFlag = flag.String("field", "", "field key (Dataset/Name), or 'all'")
-		dataFlag  = flag.String("data", "", "optional raw .f32 file to inject into (instead of synthetic data)")
-		fmtsFlag  = flag.String("formats", "posit32,ieee32", "comma-separated formats: "+strings.Join(numfmt.Names(), ", "))
-		trials    = flag.Int("trials", 313, "trials per bit position (paper: 313)")
-		n         = flag.Int("n", 2_000_000, "synthetic elements per field")
-		seed      = flag.Uint64("seed", 1, "campaign seed (reproducible)")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		outDir    = flag.String("out", "", "directory for per-(field,format) trial CSVs")
-		keepZeros = flag.Bool("keep-zeros", false, "allow zero-valued elements to be selected")
+		fieldFlag    = flag.String("field", "", "field key (Dataset/Name), or 'all'")
+		dataFlag     = flag.String("data", "", "optional raw .f32 file to inject into (instead of synthetic data)")
+		fmtsFlag     = flag.String("formats", "posit32,ieee32", "comma-separated formats: "+strings.Join(numfmt.Names(), ", "))
+		trials       = flag.Int("trials", 313, "trials per bit position (paper: 313)")
+		n            = flag.Int("n", 2_000_000, "synthetic elements per field")
+		seed         = flag.Uint64("seed", 1, "campaign seed (reproducible)")
+		workers      = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
+		outDir       = flag.String("out", "", "directory for per-(field,format) trial CSVs, journal and manifest")
+		keepZeros    = flag.Bool("keep-zeros", false, "allow zero-valued elements to be selected")
+		resume       = flag.Bool("resume", false, "continue the campaign journaled in -out")
+		shardTimeout = flag.Duration("shard-timeout", 10*time.Minute, "per-shard watchdog; a stuck shard is abandoned and retried (0 disables)")
+		maxRetries   = flag.Int("max-retries", 2, "retries per shard after its first attempt")
+		bitsPerShard = flag.Int("bits-per-shard", 8, "bit positions per journaled work unit")
+		// Deliberate failure injection for the resilience e2e test
+		// (scripts/resume_e2e.sh); not for normal use.
+		crashAfter  = flag.Int("debug-crash-after", 0, "if >0, simulate a hard crash (exit 137) after N shards complete")
+		sigintAfter = flag.Int("debug-sigint-after", 0, "if >0, send ourselves SIGINT after N shards complete")
 	)
 	flag.Parse()
 
 	if *fieldFlag == "" {
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
+	}
+	if *resume && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "positcampaign: -resume requires -out (the journal lives there)")
+		return exitUsage
 	}
 	var fields []sdrbench.Field
 	if *fieldFlag == "all" {
@@ -49,7 +90,7 @@ func main() {
 	} else {
 		f, err := sdrbench.Lookup(*fieldFlag)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fields = []sdrbench.Field{f}
 	}
@@ -58,7 +99,7 @@ func main() {
 	for _, name := range strings.Split(*fmtsFlag, ",") {
 		c, err := numfmt.Lookup(strings.TrimSpace(name))
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		codecs = append(codecs, c)
 	}
@@ -66,76 +107,131 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.TrialsPerBit = *trials
-	cfg.Workers = *workers
 	cfg.SkipZeros = !*keepZeros
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 	}
+
+	// SIGINT/SIGTERM cancel the campaign context; workers drain, the
+	// journal keeps every completed shard, and we exit 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *dataFlag != "" {
 		// Explicit data file: run the selected fields' campaigns over
-		// the provided array.
+		// the provided array (not sharded — the file is the dataset).
 		raw, err := sdrbench.ReadRawFile(*dataFlag)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		data := sdrbench.ToFloat64(raw)
+		cfg.Workers = *workers
 		for _, f := range fields {
 			for _, codec := range codecs {
-				start := time.Now()
-				res, err := core.Run(cfg, codec, f.Key(), data)
-				if err != nil {
-					fatal(err)
+				res, err := core.Run(ctx, cfg, codec, f.Key(), data)
+				if errors.Is(err, context.Canceled) {
+					fmt.Fprintln(os.Stderr, "positcampaign: interrupted")
+					return exitInterrupt
 				}
-				report(res, time.Since(start), *outDir)
+				if err != nil {
+					return fatal(err)
+				}
+				if err := report(res, res.Elapsed, *outDir); err != nil {
+					return fatal(err)
+				}
 			}
 		}
-		return
+		return exitOK
 	}
 
-	// Synthetic data: schedule all (field, format) campaigns on a
-	// parallel job pool (the paper's per-field cluster parallelism).
-	jobs := make([]core.MatrixJob, 0, len(fields)*len(codecs))
+	// Synthetic data: durable sharded campaign matrix.
+	specs := make([]runner.Spec, 0, len(fields)*len(codecs))
 	for _, f := range fields {
 		for _, codec := range codecs {
-			jobs = append(jobs, core.MatrixJob{Field: f, Codec: codec, N: *n, Seed: *seed})
+			specs = append(specs, runner.Spec{Field: f.Key(), Codec: codec.Name(), N: *n, Seed: *seed})
 		}
 	}
-	start := time.Now()
-	results, err := core.RunMatrix(cfg, jobs, 0)
+	var doneShards int32
+	rcfg := runner.Config{
+		Campaign:     cfg,
+		Dir:          *outDir,
+		Resume:       *resume,
+		Workers:      *workers,
+		BitsPerShard: *bitsPerShard,
+		ShardTimeout: *shardTimeout,
+		MaxRetries:   *maxRetries,
+		OnShardDone: func(st runner.ShardStatus) {
+			if st.State == runner.ShardFailed {
+				fmt.Fprintf(os.Stderr, "positcampaign: shard %s failed: %s\n", st.ID(), st.Error)
+			}
+			if st.State != runner.ShardDone {
+				return
+			}
+			n := atomic.AddInt32(&doneShards, 1)
+			if *crashAfter > 0 && n >= int32(*crashAfter) {
+				os.Exit(137) // simulated hard crash: no drain, no manifest update
+			}
+			if *sigintAfter > 0 && n == int32(*sigintAfter) {
+				// Exercises the real signal path end to end.
+				if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+					fmt.Fprintln(os.Stderr, "positcampaign: self-SIGINT:", err)
+				}
+			}
+		},
+	}
+	rep, err := runner.Run(ctx, rcfg, specs)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	elapsed := time.Since(start)
-	for _, res := range results {
-		report(res, elapsed/time.Duration(len(results)), *outDir)
+
+	if rep.Cancelled {
+		// Completed shards are journaled; CSVs are only published by
+		// complete runs so a final-path CSV is always a whole campaign.
+		fmt.Fprintf(os.Stderr, "positcampaign: interrupted after %d/%d shards; resume with -resume\n",
+			rep.Completed+rep.Resumed, len(rep.Shards))
+		return exitInterrupt
 	}
-	fmt.Printf("total: %d campaigns, %v\n", len(results), elapsed.Round(time.Millisecond))
+	published := 0
+	for _, res := range rep.Results {
+		if res == nil {
+			continue
+		}
+		if err := report(res, res.Elapsed, *outDir); err != nil {
+			return fatal(err)
+		}
+		published++
+	}
+	if rep.Partial() {
+		fmt.Fprintf(os.Stderr, "positcampaign: partial: %d shard(s) failed permanently; see %s\n",
+			rep.Failed, filepath.Join(*outDir, "manifest.json"))
+		return exitPartial
+	}
+	fmt.Printf("total: %d campaigns, %v\n", published, rep.Elapsed.Round(time.Millisecond))
+	return exitOK
 }
 
-func report(res *core.Result, elapsed time.Duration, outDir string) {
+// report prints a campaign summary and, with -out, publishes the trial
+// CSV atomically: a reader never observes a partial file at the final
+// path, no matter when the process dies.
+func report(res *core.Result, elapsed time.Duration, outDir string) error {
 	fmt.Printf("== %s / %s: %d trials in ~%v\n", res.Field, res.Codec, len(res.Trials), elapsed.Round(time.Millisecond))
 	printSummary(res)
 	if outDir == "" {
-		return
+		return nil
 	}
 	name := fmt.Sprintf("%s_%s.csv", strings.ReplaceAll(res.Field, "/", "_"), res.Codec)
 	path := filepath.Join(outDir, name)
-	out, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return core.WriteTrialsCSV(w, res.Trials)
+	})
 	if err != nil {
-		fatal(err)
-	}
-	if err := core.WriteTrialsCSV(out, res.Trials); err != nil {
-		_ = out.Close() // the write error is the one worth reporting
-		fatal(err)
-	}
-	if err := out.Close(); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("   log: %s\n", path)
+	return nil
 }
 
 func printSummary(res *core.Result) {
@@ -184,7 +280,7 @@ func printSummary(res *core.Result) {
 
 func isBad(v float64) bool { return math.IsNaN(v) || v > 1e308 || v < -1e308 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "positcampaign:", err)
-	os.Exit(1)
+	return exitFatal
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"positres/internal/atomicio"
 	"positres/internal/core"
 	"positres/internal/figures"
 	"positres/internal/textplot"
@@ -113,7 +114,7 @@ func main() {
 		if *tsvDir != "" {
 			if lc, ok := r.(*textplot.LineChart); ok {
 				path := filepath.Join(*tsvDir, "fig"+id+".tsv")
-				if err := os.WriteFile(path, []byte(lc.TSV()), 0o644); err != nil {
+				if err := atomicio.WriteFileBytes(path, []byte(lc.TSV())); err != nil {
 					fatal(err)
 				}
 				fmt.Printf("(tsv: %s)\n\n", path)

@@ -1,0 +1,86 @@
+// Package atomicio is the shared atomic-write helper for every result
+// artifact the campaign pipeline produces (trial CSVs, journal
+// records, manifests, figure TSVs, raw dataset files). It is the
+// on-disk sibling of internal/checkpoint's in-memory scheme: a write
+// either lands complete at its final path or not at all, so a crash
+// mid-flush can never leave a truncated file that parses as a finished
+// one.
+//
+// The protocol is the classic temp + fsync + rename sequence: the
+// payload is streamed to a temporary file in the destination
+// directory, flushed to stable storage with fsync, renamed over the
+// final path (atomic within a filesystem on POSIX), and the directory
+// is fsynced so the rename itself survives a power loss.
+//
+// positlint's atomicwrite rule flags direct os.Create / os.WriteFile
+// calls elsewhere in the module, so artifact output cannot silently
+// regress to a bare create.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically writes the output of write to path with mode
+// 0o644. write receives a buffered writer backed by a temporary file
+// in path's directory; if write or any flush/sync/rename step fails,
+// the temporary file is removed and the final path is untouched (a
+// previous file at path, if any, survives intact).
+func WriteFile(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Any early return before the rename must leave no temp debris.
+	fail := func(step string, err error) error {
+		_ = tmp.Close()        // best effort: the step error is the one worth reporting
+		_ = os.Remove(tmpName) // ditto
+		return fmt.Errorf("atomicio: %s %s: %w", step, path, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	// CreateTemp uses 0o600; artifacts are world-readable like any
+	// os.Create output.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail("chmod", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName) // best effort
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName) // best effort
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileBytes atomically writes data to path with mode 0o644.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a completed rename is durable. Some
+// filesystems return EINVAL/ENOTSUP for directory fsync; that is not a
+// durability regression relative to a bare write, so only open errors
+// are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicio: open dir %s: %w", dir, err)
+	}
+	_ = d.Sync() // best effort: not all filesystems support directory fsync
+	return d.Close()
+}

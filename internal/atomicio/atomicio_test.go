@@ -1,0 +1,102 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileBytes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileBytes(path, []byte("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "a,b\n1,2\n" {
+		t.Fatalf("content %q", got)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Errorf("mode %v, want 0644", st.Mode().Perm())
+	}
+	assertNoTempDebris(t, dir)
+}
+
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := WriteFileBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new content" {
+		t.Fatalf("content %q", got)
+	}
+	assertNoTempDebris(t, dir)
+}
+
+// TestWriteFileFailureLeavesTargetIntact: a failing write callback
+// must neither create the final path nor clobber a previous version,
+// and must clean up its temp file.
+func TestWriteFileFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	boom := errors.New("boom")
+	err := WriteFile(path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists after failed write: %v", err)
+	}
+	assertNoTempDebris(t, dir)
+
+	// With a survivor in place, a failed rewrite leaves it untouched.
+	if err := WriteFileBytes(path, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("half-written garbage"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "survivor" {
+		t.Fatalf("previous content clobbered: %q", got)
+	}
+	assertNoTempDebris(t, dir)
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), []byte("x")); err == nil {
+		t.Fatal("write into a missing directory should fail")
+	}
+}
+
+// assertNoTempDebris verifies no .tmp-* files linger in dir.
+func assertNoTempDebris(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris left behind: %s", e.Name())
+		}
+	}
+}

@@ -9,6 +9,7 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -70,13 +71,48 @@ type GuardedResult struct {
 	Checkpoints int
 }
 
+// DefaultMaxRollbacks is the rollback budget when GuardedOpts leaves
+// MaxRollbacks zero.
+const DefaultMaxRollbacks = 16
+
+// ErrRollbackBudget reports a guarded solve that kept rolling back
+// without making progress — persistent corruption or a divergence
+// monitor that can never be satisfied. Without this budget the solver
+// livelocks: restore, detect, restore, forever. Callers distinguish it
+// with errors.Is.
+var ErrRollbackBudget = errors.New("checkpoint: rollback budget exhausted")
+
+// GuardedOpts parameterizes GuardedJacobi.
+type GuardedOpts struct {
+	// MaxIters bounds the sweep count.
+	MaxIters int
+	// Interval is the number of sweeps between snapshots; must be
+	// positive.
+	Interval int
+	// GrowFactor is the divergence monitor: a residual growing by more
+	// than this factor between snapshots triggers a rollback.
+	GrowFactor float64
+	// MaxRollbacks bounds restarts from a checkpoint; when corruption
+	// is detected with the budget already spent, the solve aborts with
+	// ErrRollbackBudget. Zero means DefaultMaxRollbacks.
+	MaxRollbacks int
+	// Inject, when non-nil, flips one stored bit mid-solve.
+	Inject *kernels.Injection
+}
+
 // GuardedJacobi runs the Jacobi iteration with checkpoint/restart: a
-// snapshot every `interval` sweeps, and a divergence monitor (residual
-// growing by more than growFactor between snapshots) triggers a
-// rollback. inject, when non-nil, flips one stored bit mid-solve —
-// the guarded run detects the damage and recovers, where the bare run
-// (kernels.Problem.Jacobi) carries it to the end.
-func GuardedJacobi(p *kernels.Problem, codec numfmt.Codec, maxIters, interval int, growFactor float64, inject *kernels.Injection) (GuardedResult, error) {
+// snapshot every Interval sweeps, and a divergence monitor (residual
+// growing by more than GrowFactor between snapshots) triggers a
+// rollback, bounded by MaxRollbacks. Inject, when non-nil, flips one
+// stored bit mid-solve — the guarded run detects the damage and
+// recovers, where the bare run (kernels.Problem.Jacobi) carries it to
+// the end.
+func GuardedJacobi(p *kernels.Problem, codec numfmt.Codec, opts GuardedOpts) (GuardedResult, error) {
+	maxIters, interval, growFactor, inject := opts.MaxIters, opts.Interval, opts.GrowFactor, opts.Inject
+	maxRollbacks := opts.MaxRollbacks
+	if maxRollbacks <= 0 {
+		maxRollbacks = DefaultMaxRollbacks
+	}
 	if interval <= 0 {
 		return GuardedResult{}, fmt.Errorf("checkpoint: interval must be positive")
 	}
@@ -111,7 +147,12 @@ func GuardedJacobi(p *kernels.Problem, codec numfmt.Codec, maxIters, interval in
 		if (it+1)%interval == 0 {
 			rn := p.Op.Residual(b, x, r)
 			if math.IsNaN(rn) || math.IsInf(rn, 0) || rn > lastResidual*growFactor {
-				// Corruption detected: roll back to the last good state.
+				// Corruption detected: roll back to the last good state —
+				// unless the budget is spent, in which case restarting
+				// again would livelock on the same damage.
+				if res.Rollbacks >= maxRollbacks {
+					return res, fmt.Errorf("checkpoint: corruption persists after %d rollbacks: %w", res.Rollbacks, ErrRollbackBudget)
+				}
 				if err := ck.Restore(x); err != nil {
 					return res, err
 				}

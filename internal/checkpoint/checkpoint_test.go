@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"testing"
 
 	"positres/internal/kernels"
@@ -49,7 +50,7 @@ func TestTakeVerifyRestore(t *testing.T) {
 
 func TestGuardedJacobiClean(t *testing.T) {
 	p := kernels.NewProblem(48)
-	res, err := GuardedJacobi(p, codec(t, "posit32"), 600, 25, 1.01, nil)
+	res, err := GuardedJacobi(p, codec(t, "posit32"), GuardedOpts{MaxIters: 600, Interval: 25, GrowFactor: 1.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestGuardedJacobiRecovers(t *testing.T) {
 		c := codec(t, name)
 		inj := kernels.Injection{Iter: 100, Index: 20, Bit: 30}
 
-		clean, err := GuardedJacobi(p, c, 600, 25, 1.01, nil)
+		clean, err := GuardedJacobi(p, c, GuardedOpts{MaxIters: 600, Interval: 25, GrowFactor: 1.01})
 		if err != nil {
 			t.Fatal(err)
 		}
-		guarded, err := GuardedJacobi(p, c, 600, 25, 1.01, &inj)
+		guarded, err := GuardedJacobi(p, c, GuardedOpts{MaxIters: 600, Interval: 25, GrowFactor: 1.01, Inject: &inj})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,34 @@ func TestGuardedJacobiRecovers(t *testing.T) {
 
 func TestGuardedJacobiBadInterval(t *testing.T) {
 	p := kernels.NewProblem(16)
-	if _, err := GuardedJacobi(p, codec(t, "posit32"), 10, 0, 1.01, nil); err == nil {
+	if _, err := GuardedJacobi(p, codec(t, "posit32"), GuardedOpts{MaxIters: 10, GrowFactor: 1.01}); err == nil {
 		t.Fatal("zero interval should error")
+	}
+}
+
+// TestGuardedJacobiRollbackBudget: a divergence monitor that can never
+// be satisfied (GrowFactor 0 flags every positive residual as
+// corruption) would roll back forever; the budget turns that livelock
+// into a distinct, inspectable error.
+func TestGuardedJacobiRollbackBudget(t *testing.T) {
+	p := kernels.NewProblem(32)
+	res, err := GuardedJacobi(p, codec(t, "posit32"), GuardedOpts{
+		MaxIters: 10000, Interval: 5, GrowFactor: 0, MaxRollbacks: 3,
+	})
+	if !errors.Is(err, ErrRollbackBudget) {
+		t.Fatalf("err = %v, want ErrRollbackBudget", err)
+	}
+	if res.Rollbacks != 3 {
+		t.Fatalf("rollbacks = %d, want exactly the budget (3)", res.Rollbacks)
+	}
+	// The default budget kicks in when the option is zero.
+	res, err = GuardedJacobi(p, codec(t, "posit32"), GuardedOpts{
+		MaxIters: 10000, Interval: 5, GrowFactor: 0,
+	})
+	if !errors.Is(err, ErrRollbackBudget) {
+		t.Fatalf("default budget: err = %v, want ErrRollbackBudget", err)
+	}
+	if res.Rollbacks != DefaultMaxRollbacks {
+		t.Fatalf("rollbacks = %d, want DefaultMaxRollbacks", res.Rollbacks)
 	}
 }

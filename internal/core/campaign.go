@@ -12,11 +12,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"positres/internal/bitflip"
 	"positres/internal/numfmt"
@@ -85,17 +87,50 @@ type Result struct {
 	N        int // dataset length
 	Baseline stats.Summary
 	Trials   []Trial
+	// Elapsed is the wall-clock cost of this campaign alone (not an
+	// even share of some enclosing sweep), recorded by Run.
+	Elapsed time.Duration
 }
 
 // Run executes the campaign for one codec over one data array.
 // data holds the field values (float32-exact, widened); fieldKey is
-// recorded in every trial.
-func Run(cfg Config, codec numfmt.Codec, fieldKey string, data []float64) (*Result, error) {
+// recorded in every trial. Cancelling ctx stops the worker pool at bit
+// granularity and returns the context's error; no partial Result is
+// returned, so callers never observe a half-filled trial log.
+func Run(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, data []float64) (*Result, error) {
+	start := time.Now()
+	trials, err := RunRange(ctx, cfg, codec, fieldKey, data, 0, codec.Width())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Field:    fieldKey,
+		Codec:    codec.Name(),
+		N:        len(data),
+		Baseline: stats.Summarize(data),
+		Trials:   trials,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// RunRange executes the campaign trials for bit positions [lo, hi)
+// only — the shard primitive internal/runner schedules. Because every
+// trial draws from a PRNG stream keyed by (seed, field, codec, bit,
+// trial), the trials for a bit range are identical whether produced
+// here or inside a full-width Run: concatenating shard outputs in bit
+// order reproduces an uninterrupted campaign bit for bit.
+func RunRange(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, data []float64, lo, hi int) ([]Trial, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: empty dataset for %s", fieldKey)
 	}
 	if cfg.TrialsPerBit <= 0 {
 		return nil, fmt.Errorf("core: TrialsPerBit must be positive, got %d", cfg.TrialsPerBit)
+	}
+	if lo < 0 || hi > codec.Width() || lo >= hi {
+		return nil, fmt.Errorf("core: bit range [%d,%d) invalid for %d-bit %s", lo, hi, codec.Width(), codec.Name())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: campaign %s/%s: %w", fieldKey, codec.Name(), err)
 	}
 	if cfg.MaxSelectAttempts <= 0 {
 		cfg.MaxSelectAttempts = 64
@@ -105,18 +140,13 @@ func Run(cfg Config, codec numfmt.Codec, fieldKey string, data []float64) (*Resu
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	width := codec.Width()
-	res := &Result{
-		Field:    fieldKey,
-		Codec:    codec.Name(),
-		N:        len(data),
-		Baseline: stats.Summarize(data),
-		Trials:   make([]Trial, width*cfg.TrialsPerBit),
-	}
+	trials := make([]Trial, (hi-lo)*cfg.TrialsPerBit)
 
 	// One job per bit position; each worker fills a disjoint slice of
 	// the result, so no synchronization beyond the channel is needed
-	// (Effective Go's fixed-pool Serve pattern).
+	// (Effective Go's fixed-pool Serve pattern). On cancellation the
+	// feeder stops handing out bits and workers drain the channel
+	// without computing, so Wait returns promptly.
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -124,17 +154,28 @@ func Run(cfg Config, codec numfmt.Codec, fieldKey string, data []float64) (*Resu
 		go func() {
 			defer wg.Done()
 			for bit := range jobs {
-				out := res.Trials[bit*cfg.TrialsPerBit : (bit+1)*cfg.TrialsPerBit]
+				if ctx.Err() != nil {
+					continue // cancelled: drain remaining jobs without working
+				}
+				out := trials[(bit-lo)*cfg.TrialsPerBit : (bit-lo+1)*cfg.TrialsPerBit]
 				runBit(cfg, codec, fieldKey, data, bit, out)
 			}
 		}()
 	}
-	for bit := 0; bit < width; bit++ {
-		jobs <- bit
+feed:
+	for bit := lo; bit < hi; bit++ {
+		select {
+		case jobs <- bit:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return res, nil
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: campaign %s/%s: %w", fieldKey, codec.Name(), err)
+	}
+	return trials, nil
 }
 
 // runBit executes all trials for one bit position.
@@ -177,10 +218,10 @@ func runBit(cfg Config, codec numfmt.Codec, fieldKey string, data []float64, bit
 
 // RunAll executes the campaign for several codecs over the same data,
 // returning results keyed in input order.
-func RunAll(cfg Config, codecs []numfmt.Codec, fieldKey string, data []float64) ([]*Result, error) {
+func RunAll(ctx context.Context, cfg Config, codecs []numfmt.Codec, fieldKey string, data []float64) ([]*Result, error) {
 	out := make([]*Result, 0, len(codecs))
 	for _, c := range codecs {
-		r, err := Run(cfg, c, fieldKey, data)
+		r, err := Run(ctx, cfg, c, fieldKey, data)
 		if err != nil {
 			return nil, err
 		}

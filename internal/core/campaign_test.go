@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -45,7 +46,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	for _, w := range []int{1, 2, 8} {
 		cfg := smallCfg()
 		cfg.Workers = w
-		r, err := Run(cfg, codec, "Hurricane/Uf30", data)
+		r, err := Run(context.Background(), cfg, codec, "Hurricane/Uf30", data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestRunShape(t *testing.T) {
 	data := testData(t, "CESM/RELHUM", 5000)
 	codec := mustCodec(t, "posit16")
 	cfg := smallCfg()
-	r, err := Run(cfg, codec, "CESM/RELHUM", data)
+	r, err := Run(context.Background(), cfg, codec, "CESM/RELHUM", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTrialErrorsConsistent(t *testing.T) {
 	data := testData(t, "HACC/vx", 10000)
 	for _, name := range []string{"posit32", "ieee32"} {
 		codec := mustCodec(t, name)
-		r, err := Run(smallCfg(), codec, "HACC/vx", data)
+		r, err := Run(context.Background(), smallCfg(), codec, "HACC/vx", data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func TestSkipZeros(t *testing.T) {
 	data := testData(t, "Hurricane/CLOUDf48", 20000) // ~62% zeros
 	codec := mustCodec(t, "posit32")
 	cfg := smallCfg()
-	r, err := Run(cfg, codec, "Hurricane/CLOUDf48", data)
+	r, err := Run(context.Background(), cfg, codec, "Hurricane/CLOUDf48", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSkipZeros(t *testing.T) {
 		}
 	}
 	cfg.SkipZeros = false
-	r, err = Run(cfg, codec, "Hurricane/CLOUDf48", data)
+	r, err = Run(context.Background(), cfg, codec, "Hurricane/CLOUDf48", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,12 +167,12 @@ func TestSkipZeros(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	codec := mustCodec(t, "posit32")
-	if _, err := Run(smallCfg(), codec, "x", nil); err == nil {
+	if _, err := Run(context.Background(), smallCfg(), codec, "x", nil); err == nil {
 		t.Error("empty data should error")
 	}
 	cfg := smallCfg()
 	cfg.TrialsPerBit = 0
-	if _, err := Run(cfg, codec, "x", []float64{1}); err == nil {
+	if _, err := Run(context.Background(), cfg, codec, "x", []float64{1}); err == nil {
 		t.Error("zero trials should error")
 	}
 }
@@ -179,7 +180,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunAll(t *testing.T) {
 	data := testData(t, "CESM/CLOUD", 5000)
 	codecs := []numfmt.Codec{mustCodec(t, "posit32"), mustCodec(t, "ieee32")}
-	rs, err := RunAll(smallCfg(), codecs, "CESM/CLOUD", data)
+	rs, err := RunAll(context.Background(), smallCfg(), codecs, "CESM/CLOUD", data)
 	if err != nil || len(rs) != 2 {
 		t.Fatalf("RunAll: %v", err)
 	}
@@ -279,7 +280,7 @@ func TestFieldErrorSummary(t *testing.T) {
 // TestCSVRoundTrip: write → read reproduces the trials exactly.
 func TestCSVRoundTrip(t *testing.T) {
 	data := testData(t, "Nyx/temperature", 3000)
-	r, err := Run(smallCfg(), mustCodec(t, "posit32"), "Nyx/temperature", data)
+	r, err := Run(context.Background(), smallCfg(), mustCodec(t, "posit32"), "Nyx/temperature", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestCSVErrors(t *testing.T) {
 func TestFaultyArrayStats(t *testing.T) {
 	data := testData(t, "Hurricane/Vf30", 4000)
 	base := stats.Summarize(data)
-	r, err := Run(smallCfg(), mustCodec(t, "ieee32"), "Hurricane/Vf30", data)
+	r, err := Run(context.Background(), smallCfg(), mustCodec(t, "ieee32"), "Hurricane/Vf30", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,11 +439,11 @@ func TestSDCCurvesPositVsIEEE(t *testing.T) {
 	data := testData(t, "CESM/RELHUM", 20000)
 	cfg := smallCfg()
 	cfg.TrialsPerBit = 60
-	pR, err := Run(cfg, mustCodec(t, "posit32"), "CESM/RELHUM", data)
+	pR, err := Run(context.Background(), cfg, mustCodec(t, "posit32"), "CESM/RELHUM", data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	iR, err := Run(cfg, mustCodec(t, "ieee32"), "CESM/RELHUM", data)
+	iR, err := Run(context.Background(), cfg, mustCodec(t, "ieee32"), "CESM/RELHUM", data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -477,7 +478,7 @@ func TestTrialArrayMetricsMatchesQCAT(t *testing.T) {
 	nNonzero := CountNonzero(data)
 	valueRange := base.Max - base.Min
 	for _, name := range []string{"posit32", "ieee32"} {
-		r, err := Run(smallCfg(), mustCodec(t, name), "Hurricane/Wf30", data)
+		r, err := Run(context.Background(), smallCfg(), mustCodec(t, name), "Hurricane/Wf30", data)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -521,7 +522,7 @@ func TestRunMatrix(t *testing.T) {
 		{Field: f1, Codec: mustCodec(t, "ieee32"), N: 4000, Seed: 7},
 		{Field: f2, Codec: mustCodec(t, "posit32"), N: 4000, Seed: 7},
 	}
-	rs, err := RunMatrix(cfg, jobs, 2)
+	rs, err := RunMatrix(context.Background(), cfg, jobs, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,7 +531,7 @@ func TestRunMatrix(t *testing.T) {
 	}
 	// Equal to a standalone run of the same job.
 	data := sdrbench.ToFloat64(f1.Generate(4000, 7))
-	solo, err := Run(cfg, mustCodec(t, "posit32"), f1.Key(), data)
+	solo, err := Run(context.Background(), cfg, mustCodec(t, "posit32"), f1.Key(), data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,7 +540,7 @@ func TestRunMatrix(t *testing.T) {
 	}
 	// Errors propagate.
 	bad := []MatrixJob{{Field: f1, Codec: mustCodec(t, "posit32"), N: 0, Seed: 1}}
-	if _, err := RunMatrix(cfg, bad, 1); err == nil {
+	if _, err := RunMatrix(context.Background(), cfg, bad, 1); err == nil {
 		t.Error("zero-N job should error")
 	}
 }

@@ -5,6 +5,7 @@ package core
 // shape-level checks DESIGN.md §4 commits to.
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -16,11 +17,11 @@ func runPair(t *testing.T, fieldKey string, n int) (positR, ieeeR *Result) {
 	cfg := DefaultConfig()
 	cfg.TrialsPerBit = 80
 	var err error
-	positR, err = Run(cfg, mustCodec(t, "posit32"), fieldKey, data)
+	positR, err = Run(context.Background(), cfg, mustCodec(t, "posit32"), fieldKey, data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ieeeR, err = Run(cfg, mustCodec(t, "ieee32"), fieldKey, data)
+	ieeeR, err = Run(context.Background(), cfg, mustCodec(t, "ieee32"), fieldKey, data)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -22,8 +23,11 @@ type MatrixJob struct {
 
 // RunMatrix executes the jobs with at most `parallel` concurrent
 // campaigns (0 = GOMAXPROCS). Results arrive in job order regardless
-// of scheduling; the first error aborts remaining jobs.
-func RunMatrix(cfg Config, jobs []MatrixJob, parallel int) ([]*Result, error) {
+// of scheduling; the first error aborts remaining jobs. Each Result
+// carries its own Elapsed, so per-campaign cost is recorded exactly
+// rather than inferred from the sweep total. Cancelling ctx stops
+// feeding jobs, drains the pool, and returns the context's error.
+func RunMatrix(ctx context.Context, cfg Config, jobs []MatrixJob, parallel int) ([]*Result, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -47,6 +51,9 @@ func RunMatrix(cfg Config, jobs []MatrixJob, parallel int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					continue // cancelled: drain remaining jobs without working
+				}
 				job := jobs[i]
 				if job.N <= 0 {
 					errs[i] = fmt.Errorf("core: job %d (%s/%s): non-positive N",
@@ -54,16 +61,24 @@ func RunMatrix(cfg Config, jobs []MatrixJob, parallel int) ([]*Result, error) {
 					continue
 				}
 				data := sdrbench.ToFloat64(job.Field.Generate(job.N, job.Seed))
-				results[i], errs[i] = Run(inner, job.Codec, job.Field.Key(), data)
+				results[i], errs[i] = Run(ctx, inner, job.Codec, job.Field.Key(), data)
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: matrix cancelled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: matrix job %d: %w", i, err)

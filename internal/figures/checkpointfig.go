@@ -29,7 +29,9 @@ func CheckpointTable(b Budget) *textplot.Table {
 		t.AddRow(name, "none", fmt.Sprintf("%.3g", bare.SolutionErr), "-",
 			fmt.Sprintf("%d", bare.Iters))
 
-		guarded, err := checkpoint.GuardedJacobi(p, codec, maxIters, interval, 1.01, &inj)
+		guarded, err := checkpoint.GuardedJacobi(p, codec, checkpoint.GuardedOpts{
+			MaxIters: maxIters, Interval: interval, GrowFactor: 1.01, Inject: &inj,
+		})
 		if err != nil {
 			panic(err)
 		}

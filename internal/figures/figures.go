@@ -5,6 +5,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,7 +81,7 @@ func fieldData(b Budget, key string) []float64 {
 
 // runField executes the campaign for one codec on one field.
 func runField(b Budget, codecName, key string) *core.Result {
-	r, err := core.Run(b.campaignCfg(), mustCodec(codecName), key, fieldData(b, key))
+	r, err := core.Run(context.Background(), b.campaignCfg(), mustCodec(codecName), key, fieldData(b, key))
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AtomicWrite flags direct os.Create and os.WriteFile calls. Both
+// write through the final path in place, so a crash mid-write leaves a
+// truncated CSV, manifest or figure that downstream tooling happily
+// parses as a complete artifact. Campaign outputs must go through
+// internal/atomicio (temp file + fsync + rename), which guarantees a
+// reader at the final path sees either the old content or the whole
+// new content — never a prefix.
+//
+// Exempt without suppression:
+//   - package atomicio itself (it implements the protocol);
+//   - *_test.go files (not linted at all);
+//   - other os helpers (os.CreateTemp, os.Open, os.OpenFile): scratch
+//     files and read paths are not publication points.
+type AtomicWrite struct{}
+
+// NewAtomicWrite returns the rule.
+func NewAtomicWrite() *AtomicWrite { return &AtomicWrite{} }
+
+// ID implements Rule.
+func (*AtomicWrite) ID() string { return "atomicwrite" }
+
+// Doc implements Rule.
+func (*AtomicWrite) Doc() string {
+	return "flags non-atomic os.Create/os.WriteFile; use internal/atomicio"
+}
+
+// Check implements Rule.
+func (r *AtomicWrite) Check(pass *Pass) []Diagnostic {
+	if pass.Pkg != nil && pass.Pkg.Name() == "atomicio" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "Create", "WriteFile":
+				out = append(out, pass.Diag(r, call.Pos(),
+					"os.%s writes the final path non-atomically; a crash leaves a partial file — use internal/atomicio (temp+fsync+rename)", fn.Name()))
+			}
+			return true
+		})
+	}
+	return out
+}

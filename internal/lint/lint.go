@@ -89,6 +89,7 @@ func AllRules() []Rule {
 		NewWaitGroup(),
 		NewCtxLoop(),
 		NewErrDrop(),
+		NewAtomicWrite(),
 	}
 }
 

@@ -96,13 +96,14 @@ func checkFixture(t *testing.T, name string) {
 	}
 }
 
-func TestFloatCmpFixture(t *testing.T)   { checkFixture(t, "floatcmp") }
-func TestShiftRangeFixture(t *testing.T) { checkFixture(t, "shiftrange") }
-func TestNaRCheckFixture(t *testing.T)   { checkFixture(t, "narcheck") }
-func TestMutexCopyFixture(t *testing.T)  { checkFixture(t, "mutexcopy") }
-func TestWaitGroupFixture(t *testing.T)  { checkFixture(t, "waitgroup") }
-func TestCtxLoopFixture(t *testing.T)    { checkFixture(t, "ctxloop") }
-func TestErrDropFixture(t *testing.T)    { checkFixture(t, "errdrop") }
+func TestFloatCmpFixture(t *testing.T)    { checkFixture(t, "floatcmp") }
+func TestShiftRangeFixture(t *testing.T)  { checkFixture(t, "shiftrange") }
+func TestNaRCheckFixture(t *testing.T)    { checkFixture(t, "narcheck") }
+func TestMutexCopyFixture(t *testing.T)   { checkFixture(t, "mutexcopy") }
+func TestWaitGroupFixture(t *testing.T)   { checkFixture(t, "waitgroup") }
+func TestCtxLoopFixture(t *testing.T)     { checkFixture(t, "ctxloop") }
+func TestErrDropFixture(t *testing.T)     { checkFixture(t, "errdrop") }
+func TestAtomicWriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
 
 // TestEndToEndAllRules lints the synthetic package that trips every
 // rule and asserts the exact diagnostic set, pinning rule IDs,
@@ -120,14 +121,15 @@ func TestEndToEndAllRules(t *testing.T) {
 		rule string
 		frag string
 	}{
-		{23, "mutexcopy", "parameter copies guarded by value"},
-		{26, "ctxloop", "captures a loop variable"},
-		{26, "ctxloop", "never consults the enclosing function's context.Context"},
-		{27, "waitgroup", "wg.Add inside the spawned goroutine races with Wait"},
-		{33, "errdrop", "error result of fallible is discarded"},
-		{36, "narcheck", "arithmetic on posit decode result c.Decode(b)"},
-		{40, "shiftrange", "signed shift count n is unguarded"},
-		{41, "floatcmp", "float equality (==)"},
+		{24, "mutexcopy", "parameter copies guarded by value"},
+		{27, "ctxloop", "captures a loop variable"},
+		{27, "ctxloop", "never consults the enclosing function's context.Context"},
+		{28, "waitgroup", "wg.Add inside the spawned goroutine races with Wait"},
+		{34, "errdrop", "error result of fallible is discarded"},
+		{35, "atomicwrite", "os.WriteFile writes the final path non-atomically"},
+		{38, "narcheck", "arithmetic on posit decode result c.Decode(b)"},
+		{42, "shiftrange", "signed shift count n is unguarded"},
+		{43, "floatcmp", "float equality (==)"},
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {

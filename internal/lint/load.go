@@ -187,10 +187,15 @@ func LoadModule(root string) (*Module, error) {
 
 	mod := &Module{Root: root, Path: modPath}
 	cache := map[string]*types.Package{}
+	// One importer for the whole load: re-importing the standard
+	// library per package would mint distinct *types.Package instances
+	// for (say) "io", making identical cross-package function
+	// signatures non-identical to the type-checker.
+	imp := &chainImporter{cache: cache, std: importer.Default()}
 	rel := relativizer(root)
 	for _, p := range order {
 		rp := raw[p]
-		pkg, info, err := check(fset, rp.path, rp.files, cache)
+		pkg, info, err := check(fset, rp.path, rp.files, imp)
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %w", rp.path, err)
 		}
@@ -221,7 +226,7 @@ func LoadDir(dir string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
-	pkg, info, err := check(fset, dir, files, nil)
+	pkg, info, err := check(fset, dir, files, &chainImporter{std: importer.Default()})
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
 	}
@@ -268,7 +273,7 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 }
 
 // check type-checks one package with full types.Info.
-func check(fset *token.FileSet, path string, files []*ast.File, cache map[string]*types.Package) (*types.Package, *types.Info, error) {
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -278,7 +283,7 @@ func check(fset *token.FileSet, path string, files []*ast.File, cache map[string
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
-		Importer: &chainImporter{cache: cache, std: importer.Default()},
+		Importer: imp,
 	}
 	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {

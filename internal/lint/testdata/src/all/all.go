@@ -6,6 +6,7 @@ package all
 import (
 	"context"
 	"errors"
+	"os"
 	"sync"
 )
 
@@ -31,6 +32,7 @@ func trip(ctx context.Context, c codec, g guarded, xs []uint64, out chan<- float
 	}
 	wg.Wait()
 	fallible()
+	_ = os.WriteFile("trials.csv", nil, 0o644)
 	acc := 0.0
 	for _, b := range xs {
 		acc += c.Decode(b)

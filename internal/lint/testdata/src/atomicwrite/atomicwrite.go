@@ -1,0 +1,41 @@
+// Package atomicwrite is a positlint test fixture.
+package atomicwrite
+
+import "os"
+
+func badCreate(path string) error {
+	f, err := os.Create(path) // want "os.Create writes the final path non-atomically"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func badWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile writes the final path non-atomically"
+}
+
+func okScratch(dir string) error {
+	f, err := os.CreateTemp(dir, "scratch-*")
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func okReadSide(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = os.ReadFile(path)
+	return err
+}
+
+func okOtherCreate(path string) error {
+	// A local function named Create is not os.Create.
+	return Create(path)
+}
+
+func Create(string) error { return nil }

@@ -1,0 +1,451 @@
+// Package runner is the durable campaign orchestration layer: it
+// shards a (field, codec) campaign matrix into bit-range work units,
+// journals every completed shard to disk with CRC-guarded atomic
+// record writes, and replays only the missing shards after a crash,
+// SIGINT or node preemption. Because internal/core draws every random
+// choice from a PRNG stream keyed by (seed, field, codec, bit, trial),
+// a resumed campaign is bit-identical to an uninterrupted one — the
+// on-disk counterpart of the checkpoint/restart protection scheme the
+// paper cites (refs [37], [23]), applied to the experiment harness
+// itself.
+//
+// Robustness properties, each pinned by a test in runner_test.go:
+//
+//   - cancellation: ctx cancellation (e.g. from signal.NotifyContext)
+//     drains the shard pool; completed shards stay journaled, in-flight
+//     shards are discarded, and the manifest records "cancelled";
+//   - watchdog: a per-shard timeout abandons a stuck attempt and
+//     retries it;
+//   - bounded retry: transient shard failures back off exponentially
+//     up to MaxRetries; a shard that exhausts its budget is recorded
+//     as failed and the campaign completes the rest (graceful
+//     degradation to a "partial" outcome instead of a crash).
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+	"positres/internal/stats"
+)
+
+// Config parameterizes a durable campaign run.
+type Config struct {
+	// Campaign is the core engine configuration (seed, trials per bit,
+	// zero handling). Campaign.Workers bounds the worker pool *inside*
+	// one shard; it defaults to 1 because shards are the unit of
+	// parallelism here.
+	Campaign core.Config
+	// Dir is the state directory holding manifest.json and journal/.
+	// Empty disables durability (no journal, no resume) while keeping
+	// cancellation, watchdog and retry semantics.
+	Dir string
+	// Resume continues a campaign found in Dir instead of refusing to
+	// touch it. Verified journal records are loaded and only missing
+	// shards run. Resuming an empty Dir is a fresh start.
+	Resume bool
+	// Workers bounds concurrent shards; 0 means GOMAXPROCS.
+	Workers int
+	// BitsPerShard sets shard granularity; 0 means 8.
+	BitsPerShard int
+	// ShardTimeout is the per-attempt watchdog; 0 disables it.
+	ShardTimeout time.Duration
+	// MaxRetries is how many times a failed shard is retried after its
+	// first attempt. Negative means 0.
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff between attempts
+	// (delay = base << (attempt-1), capped at 30s); 0 means 50ms.
+	RetryBaseDelay time.Duration
+	// FaultHook, when non-nil, runs at the start of every shard
+	// attempt; a non-nil return fails that attempt. It exists to
+	// inject transient and permanent faults in tests.
+	FaultHook func(sh Shard, attempt int) error
+	// Sleep, when non-nil, replaces the backoff wait (tests stub it to
+	// avoid real delays). It must honor ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnShardDone, when non-nil, observes every shard outcome as it
+	// happens (progress reporting, crash injection in the e2e test).
+	// It is called serially.
+	OnShardDone func(st ShardStatus)
+}
+
+func (cfg *Config) withDefaults() Config {
+	c := *cfg
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BitsPerShard <= 0 {
+		c.BitsPerShard = 8
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.Campaign.Workers <= 0 {
+		c.Campaign.Workers = 1
+	}
+	return c
+}
+
+// sleep waits for d or until ctx is cancelled.
+func (cfg *Config) sleep(ctx context.Context, d time.Duration) error {
+	if cfg.Sleep != nil {
+		return cfg.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Report is the outcome of a durable campaign run.
+type Report struct {
+	// Specs echoes the input matrix; Results is index-aligned with it.
+	// A spec whose shards all completed (freshly or from the journal)
+	// gets an assembled *core.Result with trials in bit order; a spec
+	// with failed or skipped shards gets nil.
+	Specs   []Spec
+	Results []*core.Result
+	// Shards lists every shard outcome in deterministic (spec, bit)
+	// order.
+	Shards []ShardStatus
+	// Tallies over Shards.
+	Completed, Resumed, Failed, Skipped int
+	// Cancelled reports that the run was interrupted; completed work
+	// is journaled and a later Resume run picks up the remainder.
+	Cancelled bool
+	// Elapsed is this run's wall-clock time (journal loads included).
+	Elapsed time.Duration
+}
+
+// Complete reports a fully successful campaign.
+func (r *Report) Complete() bool { return !r.Cancelled && r.Failed == 0 && r.Skipped == 0 }
+
+// Partial reports a finished campaign with failed shards.
+func (r *Report) Partial() bool { return !r.Cancelled && r.Failed > 0 }
+
+// Run executes the campaign matrix durably. Fatal setup problems
+// (unknown field or codec, incompatible journal, unwritable state
+// directory) return an error; shard-level failures and cancellation
+// are reported in the Report instead, so one bad shard cannot take
+// down the campaign.
+func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
+	start := time.Now()
+	c := cfg.withDefaults()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("runner: no specs")
+	}
+
+	// Resolve every spec against the registries up front: a typo must
+	// fail before any state is touched.
+	codecs := make([]numfmt.Codec, len(specs))
+	fields := make([]sdrbench.Field, len(specs))
+	var shards []Shard
+	// Shard IDs (journal filenames) are keyed on Field+Codec, so two
+	// specs sharing that pair would collide in the journal.
+	seen := map[string]bool{}
+	for i, sp := range specs {
+		f, err := sdrbench.Lookup(sp.Field)
+		if err != nil {
+			return nil, fmt.Errorf("runner: spec %d: %w", i, err)
+		}
+		cd, err := numfmt.Lookup(sp.Codec)
+		if err != nil {
+			return nil, fmt.Errorf("runner: spec %d: %w", i, err)
+		}
+		if sp.N <= 0 {
+			return nil, fmt.Errorf("runner: spec %d (%s): non-positive N", i, sp.Key())
+		}
+		if seen[sp.Key()] {
+			return nil, fmt.Errorf("runner: duplicate spec %s", sp.Key())
+		}
+		seen[sp.Key()] = true
+		fields[i], codecs[i] = f, cd
+		shards = append(shards, shardsFor(sp, cd.Width(), c.BitsPerShard)...)
+	}
+	params := paramsOf(c.Campaign)
+
+	st, err := openState(&c, params, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Load verified journal records for the shards we expect.
+	type slot struct {
+		status ShardStatus
+		trials []core.Trial
+	}
+	slots := make([]slot, len(shards))
+	for i, sh := range shards {
+		slots[i].status = ShardStatus{Shard: sh, State: ShardSkipped}
+		if meta, trials, ok := st.load(sh, params); ok {
+			slots[i].status.State = ShardResumed
+			slots[i].status.Attempts = meta.Attempts
+			slots[i].status.DurationNS = meta.DurationNS
+			slots[i].trials = trials
+		}
+	}
+	statuses := make([]ShardStatus, len(slots))
+	for i := range slots {
+		statuses[i] = slots[i].status
+	}
+	if err := st.begin(statuses); err != nil {
+		return nil, err
+	}
+
+	// Shard worker pool. Slots are written by index (disjoint); the
+	// mutex serializes journaling bookkeeping and the OnShardDone
+	// callback only.
+	cache := newDataCache(fields, specs)
+	var mu sync.Mutex
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					continue // cancelled: drain remaining shards without working
+				}
+				sh := shards[i]
+				data, err := cache.get(sh.Spec)
+				if err != nil {
+					slots[i].status.State = ShardFailed
+					slots[i].status.Error = err.Error()
+				} else {
+					trials, status := runShard(ctx, &c, codecs[specIndex(specs, sh.Spec)], sh, data)
+					if status.State == ShardDone && st.enabled() {
+						if jerr := st.journal(status, params, trials); jerr != nil {
+							// A shard whose durability write failed is a
+							// failed shard: reporting it done would let a
+							// resume silently lose it.
+							status.State = ShardFailed
+							status.Error = jerr.Error()
+							trials = nil
+						}
+					}
+					slots[i].status = status
+					slots[i].trials = trials
+				}
+				mu.Lock()
+				if c.OnShardDone != nil {
+					c.OnShardDone(slots[i].status)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range shards {
+		if slots[i].status.State == ShardResumed {
+			continue // already satisfied by the journal
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{
+		Specs:     specs,
+		Results:   make([]*core.Result, len(specs)),
+		Cancelled: ctx.Err() != nil,
+		Elapsed:   time.Since(start),
+	}
+	for _, s := range slots {
+		rep.Shards = append(rep.Shards, s.status)
+		switch s.status.State {
+		case ShardDone:
+			rep.Completed++
+		case ShardResumed:
+			rep.Resumed++
+		case ShardFailed:
+			rep.Failed++
+		default:
+			rep.Skipped++
+		}
+	}
+
+	// Assemble per-spec results from shard trials, in bit order.
+	for si, sp := range specs {
+		var parts []slot
+		complete := true
+		for i, sh := range shards {
+			if sh.Spec != sp {
+				continue
+			}
+			if slots[i].trials == nil {
+				complete = false
+				break
+			}
+			parts = append(parts, slots[i])
+		}
+		if !complete || len(parts) == 0 {
+			continue
+		}
+		sort.Slice(parts, func(a, b int) bool { return parts[a].status.BitLo < parts[b].status.BitLo })
+		var trials []core.Trial
+		var elapsed time.Duration
+		for _, p := range parts {
+			trials = append(trials, p.trials...)
+			elapsed += p.status.Duration()
+		}
+		data, err := cache.get(sp)
+		if err != nil {
+			return nil, err // cache already generated it during the run; only a fresh resume can hit this
+		}
+		rep.Results[si] = &core.Result{
+			Field:    sp.Field,
+			Codec:    sp.Codec,
+			N:        len(data),
+			Baseline: stats.Summarize(data),
+			Trials:   trials,
+			Elapsed:  elapsed,
+		}
+	}
+
+	if err := st.finish(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// specIndex finds the spec's position; specs are few, linear scan is
+// fine.
+func specIndex(specs []Spec, sp Spec) int {
+	for i := range specs {
+		if specs[i] == sp {
+			return i
+		}
+	}
+	return -1
+}
+
+// runShard executes one shard with watchdog and bounded retry.
+func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64) ([]core.Trial, ShardStatus) {
+	st := ShardStatus{Shard: sh, State: ShardFailed}
+	start := time.Now()
+	var lastErr error
+	for attempt := 1; attempt <= cfg.MaxRetries+1; attempt++ {
+		st.Attempts = attempt
+		if attempt > 1 {
+			if err := cfg.sleep(ctx, backoff(cfg.RetryBaseDelay, attempt-1)); err != nil {
+				st.State = ShardSkipped
+				st.Error = err.Error()
+				return nil, st
+			}
+		}
+		trials, err := attemptShard(ctx, cfg, codec, sh, data, attempt)
+		if err == nil {
+			st.State = ShardDone
+			st.Error = ""
+			st.DurationNS = int64(time.Since(start))
+			return trials, st
+		}
+		if ctx.Err() != nil {
+			// The campaign itself is shutting down — not a shard fault.
+			st.State = ShardSkipped
+			st.Error = err.Error()
+			return nil, st
+		}
+		lastErr = err
+	}
+	st.Error = fmt.Sprintf("%v (after %d attempts)", lastErr, st.Attempts)
+	return nil, st
+}
+
+// backoff computes base << (attempt-1), capped at 30s.
+func backoff(base time.Duration, attempt int) time.Duration {
+	const limit = 30 * time.Second
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= limit {
+			return limit
+		}
+	}
+	return d
+}
+
+// attemptShard runs one attempt under the watchdog. The attempt body
+// executes in its own goroutine; if the watchdog (or the campaign
+// context) fires first, the attempt is abandoned — its goroutine
+// drains in the background via the shared cancelled context and its
+// result is discarded through the buffered channel.
+func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64, attempt int) ([]core.Trial, error) {
+	actx := ctx
+	cancel := func() {}
+	if cfg.ShardTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, cfg.ShardTimeout)
+	}
+	defer cancel()
+	type outcome struct {
+		trials []core.Trial
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		if cfg.FaultHook != nil {
+			if err := cfg.FaultHook(sh, attempt); err != nil {
+				done <- outcome{nil, fmt.Errorf("runner: shard %s attempt %d: %w", sh.ID(), attempt, err)}
+				return
+			}
+		}
+		trials, err := core.RunRange(actx, cfg.Campaign, codec, sh.Field, data, sh.BitLo, sh.BitHi)
+		done <- outcome{trials, err}
+	}()
+	select {
+	case out := <-done:
+		return out.trials, out.err
+	case <-actx.Done():
+		return nil, fmt.Errorf("runner: shard %s attempt %d: watchdog: %w", sh.ID(), attempt, actx.Err())
+	}
+}
+
+// dataCache generates each spec's dataset once and shares the
+// read-only slice across its shards.
+type dataCache struct {
+	mu     sync.Mutex
+	fields map[string]sdrbench.Field
+	m      map[Spec][]float64
+}
+
+func newDataCache(fields []sdrbench.Field, specs []Spec) *dataCache {
+	c := &dataCache{fields: map[string]sdrbench.Field{}, m: map[Spec][]float64{}}
+	for i, sp := range specs {
+		c.fields[sp.Field] = fields[i]
+	}
+	return c
+}
+
+func (c *dataCache) get(sp Spec) ([]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.m[sp]; ok {
+		return d, nil
+	}
+	f, ok := c.fields[sp.Field]
+	if !ok {
+		return nil, fmt.Errorf("runner: no field %s in cache", sp.Field)
+	}
+	d := sdrbench.ToFloat64(f.Generate(sp.N, sp.Seed))
+	c.m[sp] = d
+	return d, nil
+}

@@ -1,0 +1,435 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"positres/internal/core"
+	"positres/internal/numfmt"
+)
+
+func testSpecs() []Spec {
+	return []Spec{
+		{Field: "CESM/CLOUD", Codec: "posit16", N: 400, Seed: 7},
+		{Field: "HACC/vx", Codec: "ieee32", N: 400, Seed: 7},
+	}
+}
+
+// 16/4 + 32/4 shards for testSpecs at 4 bits per shard.
+const testShardTotal = 4 + 8
+
+func testCfg(dir string) Config {
+	camp := core.DefaultConfig()
+	camp.TrialsPerBit = 5
+	return Config{
+		Campaign:     camp,
+		Dir:          dir,
+		Workers:      2,
+		BitsPerShard: 4,
+		// Tests never want real backoff waits unless they say so.
+		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+	}
+}
+
+// renderCSV gives the byte-exact CSV a campaign result would publish —
+// the artifact the resume-equivalence guarantee is stated over.
+func renderCSV(t *testing.T, res *core.Result) []byte {
+	t.Helper()
+	if res == nil {
+		t.Fatal("missing result for a spec that should be complete")
+	}
+	var buf bytes.Buffer
+	if err := core.WriteTrialsCSV(&buf, res.Trials); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResumeEquivalence is the acceptance test for the durable runner:
+// a campaign interrupted mid-flight and resumed must produce CSVs
+// byte-identical to an uninterrupted run.
+func TestResumeEquivalence(t *testing.T) {
+	specs := testSpecs()
+
+	// Reference: one uninterrupted, non-durable run.
+	ref, err := Run(context.Background(), testCfg(""), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Complete() {
+		t.Fatalf("reference run not complete: %+v", ref)
+	}
+
+	// Interrupted run: cancel the campaign after two shards journal.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := testCfg(dir)
+	var done int32
+	cfg.OnShardDone = func(st ShardStatus) {
+		if st.State == ShardDone && atomic.AddInt32(&done, 1) == 2 {
+			cancel()
+		}
+	}
+	rep1, err := Run(ctx, cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep1.Cancelled {
+		t.Fatal("interrupted run not marked cancelled")
+	}
+	if rep1.Completed < 2 || rep1.Skipped == 0 {
+		t.Fatalf("unexpected interrupt profile: %+v", rep1)
+	}
+	m, err := loadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil || m == nil {
+		t.Fatalf("manifest after interrupt: %v", err)
+	}
+	if m.State != StateCancelled {
+		t.Fatalf("manifest state %q, want %q", m.State, StateCancelled)
+	}
+	recs, err := filepath.Glob(filepath.Join(dir, "journal", "*.rec"))
+	if err != nil || len(recs) != rep1.Completed {
+		t.Fatalf("journal holds %d records (err %v), want %d", len(recs), err, rep1.Completed)
+	}
+
+	// Resume: only the missing shards run; final CSVs are identical.
+	cfg2 := testCfg(dir)
+	cfg2.Resume = true
+	rep2, err := Run(context.Background(), cfg2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Complete() {
+		t.Fatalf("resumed run not complete: %+v", rep2)
+	}
+	if rep2.Resumed != rep1.Completed {
+		t.Fatalf("resumed %d shards, want %d", rep2.Resumed, rep1.Completed)
+	}
+	if rep2.Completed != testShardTotal-rep1.Completed {
+		t.Fatalf("recomputed %d shards, want %d", rep2.Completed, testShardTotal-rep1.Completed)
+	}
+	for i := range specs {
+		got, want := renderCSV(t, rep2.Results[i]), renderCSV(t, ref.Results[i])
+		if !bytes.Equal(got, want) {
+			t.Fatalf("spec %s: resumed CSV differs from uninterrupted run", specs[i].Key())
+		}
+	}
+	m, err = loadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil || m == nil || m.State != StateComplete {
+		t.Fatalf("final manifest state: %+v (err %v)", m, err)
+	}
+}
+
+// TestExistingStateRefusedWithoutResume: a populated state directory
+// is never silently overwritten.
+func TestExistingStateRefusedWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs()
+	if _, err := Run(context.Background(), testCfg(dir), specs); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(context.Background(), testCfg(dir), specs)
+	if !errors.Is(err, ErrStateExists) {
+		t.Fatalf("err = %v, want ErrStateExists", err)
+	}
+}
+
+// TestResumeParamMismatch: resuming with different campaign parameters
+// or a different matrix is rejected — it would splice incompatible
+// trial streams into one output.
+func TestResumeParamMismatch(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs()
+	if _, err := Run(context.Background(), testCfg(dir), specs); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testCfg(dir)
+	cfg.Resume = true
+	cfg.Campaign.TrialsPerBit = 9
+	if _, err := Run(context.Background(), cfg, specs); err == nil {
+		t.Fatal("resume with different TrialsPerBit must fail")
+	}
+
+	cfg = testCfg(dir)
+	cfg.Resume = true
+	cfg.BitsPerShard = 8
+	if _, err := Run(context.Background(), cfg, specs); err == nil {
+		t.Fatal("resume with different shard granularity must fail")
+	}
+
+	cfg = testCfg(dir)
+	cfg.Resume = true
+	if _, err := Run(context.Background(), cfg, specs[:1]); err == nil {
+		t.Fatal("resume with a different spec list must fail")
+	}
+}
+
+// TestCorruptRecordRecomputed: a journal record that fails CRC (here: a
+// flipped payload byte) is treated as absent, and only that shard is
+// recomputed — with output still identical to a clean run.
+func TestCorruptRecordRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs()
+	ref, err := Run(context.Background(), testCfg(dir), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSVs := [][]byte{renderCSV(t, ref.Results[0]), renderCSV(t, ref.Results[1])}
+
+	recs, err := filepath.Glob(filepath.Join(dir, "journal", "*.rec"))
+	if err != nil || len(recs) != testShardTotal {
+		t.Fatalf("journal holds %d records (err %v)", len(recs), err)
+	}
+	raw, err := os.ReadFile(recs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(recs[3], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testCfg(dir)
+	cfg.Resume = true
+	rep, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() || rep.Completed != 1 || rep.Resumed != testShardTotal-1 {
+		t.Fatalf("corrupt-record resume profile: %+v", rep)
+	}
+	for i := range specs {
+		if !bytes.Equal(renderCSV(t, rep.Results[i]), refCSVs[i]) {
+			t.Fatalf("spec %s: CSV differs after corrupt-record recovery", specs[i].Key())
+		}
+	}
+}
+
+// TestRetryBackoff: transient shard faults are retried with
+// exponential backoff until they clear.
+func TestRetryBackoff(t *testing.T) {
+	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 200, Seed: 7}}
+	cfg := testCfg("")
+	cfg.Workers = 1
+	cfg.BitsPerShard = 8 // one shard
+	cfg.MaxRetries = 3
+	cfg.RetryBaseDelay = 10 * time.Millisecond
+	var delays []time.Duration
+	cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return ctx.Err()
+	}
+	var attempts int32
+	cfg.FaultHook = func(sh Shard, attempt int) error {
+		atomic.AddInt32(&attempts, 1)
+		if attempt <= 2 {
+			return errors.New("injected transient fault")
+		}
+		return nil
+	}
+	rep, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("report not complete: %+v", rep.Shards)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Fatalf("hook saw %d attempts, want 3", got)
+	}
+	if rep.Shards[0].Attempts != 3 {
+		t.Fatalf("shard records %d attempts, want 3", rep.Shards[0].Attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Fatalf("backoff delays %v, want %v", delays, want)
+	}
+}
+
+// TestRetryExhaustedPartial: a shard that never recovers is recorded
+// as failed, the rest of the campaign completes, and the run reports
+// partial — graceful degradation instead of a crash.
+func TestRetryExhaustedPartial(t *testing.T) {
+	dir := t.TempDir()
+	specs := testSpecs()
+	cfg := testCfg(dir)
+	cfg.MaxRetries = 1
+	cfg.FaultHook = func(sh Shard, attempt int) error {
+		if sh.Field == specs[0].Field && sh.BitLo == 0 {
+			return errors.New("injected permanent fault")
+		}
+		return nil
+	}
+	rep, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial() || rep.Failed != 1 || rep.Completed != testShardTotal-1 {
+		t.Fatalf("partial profile: failed=%d completed=%d cancelled=%v", rep.Failed, rep.Completed, rep.Cancelled)
+	}
+	if rep.Results[0] != nil {
+		t.Fatal("spec with a failed shard must have no assembled result")
+	}
+	if rep.Results[1] == nil {
+		t.Fatal("unaffected spec must still complete")
+	}
+	var failed *ShardStatus
+	for i := range rep.Shards {
+		if rep.Shards[i].State == ShardFailed {
+			failed = &rep.Shards[i]
+		}
+	}
+	if failed == nil {
+		t.Fatal("no failed shard in report")
+	}
+	if failed.Attempts != 2 || !strings.Contains(failed.Error, "after 2 attempts") {
+		t.Fatalf("failed shard: attempts=%d error=%q", failed.Attempts, failed.Error)
+	}
+	m, err := loadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil || m == nil || m.State != StatePartial {
+		t.Fatalf("manifest state: %+v (err %v)", m, err)
+	}
+
+	// The failed shard is not journaled, so a later resume (faults
+	// cleared) finishes the campaign and heals the manifest.
+	cfg2 := testCfg(dir)
+	cfg2.Resume = true
+	rep2, err := Run(context.Background(), cfg2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Complete() || rep2.Completed != 1 || rep2.Resumed != testShardTotal-1 {
+		t.Fatalf("healing resume profile: %+v", rep2)
+	}
+}
+
+// TestWatchdogTimeout: a hung shard attempt is abandoned at
+// ShardTimeout and retried; the retry succeeds while the campaign
+// context stays live.
+func TestWatchdogTimeout(t *testing.T) {
+	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 200, Seed: 7}}
+	cfg := testCfg("")
+	cfg.Workers = 1
+	cfg.BitsPerShard = 8
+	cfg.MaxRetries = 1
+	cfg.ShardTimeout = 25 * time.Millisecond
+	release := make(chan struct{})
+	cfg.FaultHook = func(sh Shard, attempt int) error {
+		if attempt == 1 {
+			<-release // simulate a hang well past the watchdog
+		}
+		return nil
+	}
+	defer close(release)
+	rep, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("report not complete: %+v", rep.Shards)
+	}
+	if rep.Shards[0].Attempts != 2 {
+		t.Fatalf("shard took %d attempts, want 2 (watchdog retry)", rep.Shards[0].Attempts)
+	}
+}
+
+// TestRunnerPreCancelled: a pre-cancelled context produces a cancelled
+// report with every shard skipped and a valid cancelled manifest —
+// nothing runs, nothing is half-written.
+func TestRunnerPreCancelled(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Run(ctx, testCfg(dir), testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cancelled || rep.Completed != 0 || rep.Skipped != testShardTotal {
+		t.Fatalf("pre-cancelled profile: %+v", rep)
+	}
+	m, err := loadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil || m == nil || m.State != StateCancelled {
+		t.Fatalf("manifest state: %+v (err %v)", m, err)
+	}
+}
+
+// TestRunSpecValidation: malformed matrices fail before touching state.
+func TestRunSpecValidation(t *testing.T) {
+	cases := map[string][]Spec{
+		"empty":           {},
+		"unknown field":   {{Field: "No/Such", Codec: "posit32", N: 10, Seed: 1}},
+		"unknown codec":   {{Field: "CESM/CLOUD", Codec: "posit33", N: 10, Seed: 1}},
+		"non-positive N":  {{Field: "CESM/CLOUD", Codec: "posit32", N: 0, Seed: 1}},
+		"duplicate specs": {{Field: "CESM/CLOUD", Codec: "posit32", N: 10, Seed: 1}, {Field: "CESM/CLOUD", Codec: "posit32", N: 20, Seed: 2}},
+	}
+	for name, specs := range cases {
+		if _, err := Run(context.Background(), testCfg(""), specs); err == nil {
+			t.Errorf("%s: Run should fail", name)
+		}
+	}
+}
+
+// TestShardIDStable: shard IDs are filesystem-safe and stable — they
+// are journal filenames, so a change silently orphans journals.
+func TestShardIDStable(t *testing.T) {
+	sh := Shard{Spec: Spec{Field: "CESM/CLOUD", Codec: "posit16"}, BitLo: 4, BitHi: 8}
+	if got, want := sh.ID(), "CESM_CLOUD.posit16.b04-08"; got != want {
+		t.Fatalf("ID = %q, want %q", got, want)
+	}
+}
+
+// TestRecordRoundTrip: journal records survive write/read with exact
+// meta and trial content, and reject truncation.
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trials, err := core.RunRange(context.Background(), core.DefaultConfig(), mustCodecT(t, "posit16"), "CESM/CLOUD", []float64{1.5, -2.25, 3.75}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := recordMeta{
+		Shard:      Shard{Spec: Spec{Field: "CESM/CLOUD", Codec: "posit16", N: 3, Seed: 7}, BitLo: 0, BitHi: 4},
+		Campaign:   paramsOf(core.DefaultConfig()),
+		Trials:     len(trials),
+		DurationNS: 12345,
+		Attempts:   2,
+	}
+	if err := writeRecord(dir, meta, trials); err != nil {
+		t.Fatal(err)
+	}
+	path := recordPath(dir, meta.Shard)
+	got, gotTrials, err := readRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != meta || len(gotTrials) != len(trials) {
+		t.Fatalf("round trip: meta %+v, %d trials", got, len(gotTrials))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readRecord(path); err == nil {
+		t.Fatal("truncated record must not verify")
+	}
+}
+
+func mustCodecT(t *testing.T, name string) numfmt.Codec {
+	t.Helper()
+	c, err := numfmt.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"positres/internal/atomicio"
 )
 
 // The SDRBench distribution ships each field as a headerless raw file
@@ -44,17 +46,16 @@ func ReadRaw(r io.Reader) ([]float32, error) {
 	}
 }
 
-// WriteRawFile writes data to path in raw float32 layout.
+// WriteRawFile writes data to path in raw float32 layout, atomically:
+// a crash mid-write never leaves a truncated dataset at path.
 func WriteRawFile(path string, data []float32) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteRaw(w, data)
+	})
 	if err != nil {
 		return fmt.Errorf("sdrbench: %w", err)
 	}
-	if err := WriteRaw(f, data); err != nil {
-		_ = f.Close() // the write error is the one worth reporting
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // ReadRawFile loads a raw float32 file.

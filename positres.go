@@ -21,6 +21,8 @@
 package positres
 
 import (
+	"context"
+
 	"positres/internal/analysis"
 	"positres/internal/core"
 	"positres/internal/figures"
@@ -124,15 +126,25 @@ var (
 	// DefaultCampaignConfig mirrors the paper's parameters
 	// (313 trials per bit).
 	DefaultCampaignConfig = core.DefaultConfig
-	// RunCampaign executes a campaign for one codec over one field's
-	// data.
-	RunCampaign = core.Run
 	// AggregateByBit reduces trials to per-bit error curves.
 	AggregateByBit = core.AggregateByBit
 	// WriteTrialsCSV / ReadTrialsCSV persist trial logs.
 	WriteTrialsCSV = core.WriteTrialsCSV
 	ReadTrialsCSV  = core.ReadTrialsCSV
 )
+
+// RunCampaign executes a campaign for one codec over one field's
+// data.
+func RunCampaign(cfg CampaignConfig, codec Codec, fieldKey string, data []float64) (*CampaignResult, error) {
+	return core.Run(context.Background(), cfg, codec, fieldKey, data)
+}
+
+// RunCampaignContext is RunCampaign with cancellation: the worker pool
+// drains at bit granularity when ctx is cancelled and the context's
+// error is returned instead of a partial result.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig, codec Codec, fieldKey string, data []float64) (*CampaignResult, error) {
+	return core.Run(ctx, cfg, codec, fieldKey, data)
+}
 
 // Datasets (synthetic SDRBench stand-ins).
 type DatasetField = sdrbench.Field

@@ -3,8 +3,9 @@
 #
 # Runs every gate in order and fails fast: formatting, vet, build,
 # positlint (including a self-test that the linter still fires on its
-# fixtures), the short test suite, and the race-detector pass. Each
-# step prints a banner so failures are attributable at a glance.
+# fixtures), the short test suite, the race-detector pass, and the
+# kill-and-resume campaign e2e. Each step prints a banner so failures
+# are attributable at a glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -48,6 +49,9 @@ $GO test -short ./...
 
 banner "go test -race -short ./..."
 $GO test -race -short ./...
+
+banner "resume e2e: kill-and-resume must reproduce CSVs byte-for-byte"
+./scripts/resume_e2e.sh
 
 echo ""
 echo "=== ci: all $step steps passed ==="
