@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race ci resume-e2e bench report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint race ci resume-e2e bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -38,7 +38,18 @@ ci:
 resume-e2e:
 	./scripts/resume_e2e.sh
 
+# Fixed-budget benchmark suite (docs/PERF.md). `bench` prints the
+# table; `bench-json` also writes the schema-versioned trajectory file
+# committed as the PR's perf baseline.
 bench:
+	$(GO) run ./cmd/positbench
+
+bench-json:
+	$(GO) run ./cmd/positbench -out BENCH_PR3.json
+
+# Raw `go test` benchmarks (the figure-regeneration harness in
+# bench_test.go), for ad-hoc -bench=regexp runs.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure (quick budget).

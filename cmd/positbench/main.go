@@ -1,0 +1,361 @@
+// Command positbench is the repo's benchmark driver: it runs the
+// fixed-budget performance suite — campaign injection throughput,
+// posit substrate micro-benchmarks (encode/decode/arithmetic/quire),
+// the LUT-vs-generic decode comparison, and representative figure
+// regenerations — through testing.Benchmark and writes a
+// schema-versioned JSON baseline (see docs/PERF.md) suitable for
+// committing as BENCH_<pr>.json and diffing across PRs.
+//
+// Usage:
+//
+//	positbench                      # human-readable table on stdout
+//	positbench -out BENCH_PR3.json  # also write the JSON baseline
+//	positbench -smoke               # tiny budget for CI smoke runs
+//	positbench -benchtime 1s        # override the per-bench budget
+//
+// Exit codes: 0 success; 1 a benchmark failed; 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"positres/internal/atomicio"
+	"positres/internal/core"
+	"positres/internal/ecc"
+	"positres/internal/figures"
+	"positres/internal/numfmt"
+	"positres/internal/posit"
+	"positres/internal/sdrbench"
+	"positres/internal/telemetry"
+	"positres/internal/textplot"
+)
+
+// ReportSchema versions the JSON layout of the emitted baseline. Bump
+// it on any breaking field change so trajectory tooling can dispatch.
+const ReportSchema = "positres-bench/v1"
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	N           int                `json:"n"` // iterations actually run
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
+}
+
+// Report is the full baseline document.
+type Report struct {
+	Schema     string             `json:"schema"`
+	GitSHA     string             `json:"git_sha"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	UnixTime   int64              `json:"unix_time"`
+	Benchtime  string             `json:"benchtime"`
+	Smoke      bool               `json:"smoke"`
+	DatasetN   int                `json:"dataset_n"`
+	TrialsBit  int                `json:"trials_per_bit"`
+	Seed       uint64             `json:"seed"`
+	Benchmarks []BenchResult      `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("positbench", flag.ContinueOnError)
+	outPath := fs.String("out", "", "write the JSON baseline to this file (atomic rename)")
+	smoke := fs.Bool("smoke", false, "tiny budgets for CI smoke runs (1 iteration per bench)")
+	benchtime := fs.String("benchtime", "", "per-benchmark budget (go test -benchtime syntax; default 0.2s, smoke 1x)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// testing.Benchmark honors the test.benchtime flag, which only
+	// exists after testing.Init. Init is a no-op inside `go test`
+	// binaries (the framework already ran it), so positbench's own
+	// main_test.go can exercise this path.
+	testing.Init()
+	bt := *benchtime
+	if bt == "" {
+		if *smoke {
+			bt = "1x"
+		} else {
+			bt = "0.2s"
+		}
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fmt.Fprintln(os.Stderr, "positbench: set benchtime:", err)
+		return 2
+	}
+
+	budget := figures.Budget{DatasetN: 50_000, TrialsPerBit: 40, Seed: 1}
+	if *smoke {
+		budget = figures.Budget{DatasetN: 2_000, TrialsPerBit: 4, Seed: 1}
+	}
+
+	rep := Report{
+		Schema:     ReportSchema,
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		UnixTime:   time.Now().Unix(),
+		Benchtime:  bt,
+		Smoke:      *smoke,
+		DatasetN:   budget.DatasetN,
+		TrialsBit:  budget.TrialsPerBit,
+		Seed:       budget.Seed,
+		Derived:    map[string]float64{},
+	}
+
+	table := &textplot.Table{Header: []string{"benchmark", "ns/op", "allocs/op", "extra"}}
+	byName := map[string]BenchResult{}
+	for _, c := range benchCases(budget) {
+		res := testing.Benchmark(c.fn)
+		if res.N == 0 {
+			fmt.Fprintf(os.Stderr, "positbench: %s produced no iterations (failed)\n", c.name)
+			return 1
+		}
+		br := BenchResult{
+			Name:        c.name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if len(res.Extra) > 0 {
+			br.Metrics = map[string]float64{}
+			for k, v := range res.Extra {
+				br.Metrics[k] = v
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		byName[c.name] = br
+		table.AddRow(c.name, fmt.Sprintf("%.1f", br.NsPerOp),
+			fmt.Sprintf("%d", br.AllocsPerOp), extraString(br.Metrics))
+	}
+
+	// Derived headline numbers: the LUT optimization's measured win and
+	// the campaign's injection rate (the telemetry counter cross-check).
+	for _, w := range []int{8, 16} {
+		lut := byName[fmt.Sprintf("posit%d_decode_lut", w)]
+		gen := byName[fmt.Sprintf("posit%d_decode_generic", w)]
+		if lut.NsPerOp > 0 {
+			rep.Derived[fmt.Sprintf("posit%d_decode_speedup", w)] = gen.NsPerOp / lut.NsPerOp
+		}
+	}
+	if c, ok := byName["campaign_posit32"]; ok {
+		rep.Derived["campaign_injections_per_sec"] = c.Metrics["injections/s"]
+	}
+
+	fmt.Fprint(stdout, table.Render())
+	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup", "campaign_injections_per_sec"} {
+		if v, ok := rep.Derived[k]; ok {
+			fmt.Fprintf(stdout, "%s: %.2f\n", k, v)
+		}
+	}
+
+	if *outPath != "" {
+		err := atomicio.WriteFile(*outPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(rep)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "positbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "baseline: %s\n", *outPath)
+	}
+	return 0
+}
+
+// gitSHA best-effort resolves the current commit for provenance; a
+// missing git binary or repo yields "unknown", never an error.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func extraString(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%.0f", k, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// sink variables defeat dead-code elimination in micro-benches.
+var (
+	sinkU64 uint64
+	sinkF64 float64
+)
+
+type benchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchCases builds the suite. Order is the report order.
+func benchCases(budget figures.Budget) []benchCase {
+	return []benchCase{
+		// LUT-vs-generic decode: the PR 3 optimization under test.
+		{"posit8_decode_lut", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64(posit.Std8, uint64(i&0xFF))
+			}
+		}},
+		{"posit8_decode_generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64Generic(posit.Std8, uint64(i&0xFF))
+			}
+		}},
+		{"posit16_decode_lut", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64(posit.Std16, uint64(i&0xFFFF))
+			}
+		}},
+		{"posit16_decode_generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64Generic(posit.Std16, uint64(i&0xFFFF))
+			}
+		}},
+		// Substrate micro-benches.
+		{"posit32_encode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkU64 = posit.EncodeFloat64(posit.Std32, 186.25+float64(i&1023))
+			}
+		}},
+		{"posit32_decode", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64(posit.Std32, uint64(0x40000000+i&0xFFFFF))
+			}
+		}},
+		{"posit32_add", func(b *testing.B) {
+			x := posit.EncodeFloat64(posit.Std32, 186.25)
+			y := posit.EncodeFloat64(posit.Std32, 0.0625)
+			for i := 0; i < b.N; i++ {
+				sinkU64 = posit.Add(posit.Std32, x, y)
+			}
+		}},
+		{"posit32_mul", func(b *testing.B) {
+			x := posit.EncodeFloat64(posit.Std32, 186.25)
+			y := posit.EncodeFloat64(posit.Std32, 3.5)
+			for i := 0; i < b.N; i++ {
+				sinkU64 = posit.Mul(posit.Std32, x, y)
+			}
+		}},
+		{"quire_dot64", benchQuireDot},
+		{"ecc_secded_roundtrip", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cw := ecc.Encode(uint32(i))
+				v, st := ecc.Decode(cw)
+				if st != ecc.OK || v != uint32(i) {
+					b.Fatal("ecc roundtrip")
+				}
+			}
+		}},
+		// Campaign throughput: injections/sec plus the hot path's
+		// allocation profile (the trial-loop alloc reduction shows up
+		// here as allocs/op).
+		{"campaign_posit32", benchCampaign("posit32", budget)},
+		{"campaign_posit16", benchCampaign("posit16", budget)},
+		// Representative figure regenerations.
+		{"fig_table1_summary", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := figures.Table1(budget)
+				if len(t.Rows) == 0 {
+					b.Fatal("table rows")
+				}
+			}
+		}},
+		{"fig3_ieee_sweep", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := figures.Fig3()
+				if len(c.Series) == 0 {
+					b.Fatal("sweep series")
+				}
+			}
+		}},
+	}
+}
+
+func benchQuireDot(b *testing.B) {
+	const n = 64
+	a := make([]uint64, n)
+	v := make([]float64, n)
+	for i := range a {
+		a[i] = posit.EncodeFloat64(posit.Std32, float64(i)+0.5)
+		v[i] = 1.0 / (float64(i) + 1)
+	}
+	enc := make([]uint64, n)
+	for i := range v {
+		enc[i] = posit.EncodeFloat64(posit.Std32, v[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := posit.NewQuire(posit.Std32)
+		for j := range a {
+			q.AddProduct(a[j], enc[j])
+		}
+		sinkU64 = q.ToPosit()
+	}
+}
+
+// benchCampaign measures raw core.Run throughput for one codec with a
+// live telemetry sink attached (so the overhead measured here is the
+// instrumented production path) and cross-checks the counter against
+// the trial slice the campaign returns.
+func benchCampaign(codecName string, budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		field, err := sdrbench.Lookup("Hurricane/Vf30")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := sdrbench.ToFloat64(field.Generate(budget.DatasetN, 1))
+		codec, err := numfmt.Lookup(codecName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.TrialsPerBit = budget.TrialsPerBit
+		cfg.Metrics = telemetry.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i + 1)
+			r, err := core.Run(context.Background(), cfg, codec, field.Key(), data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(r.Trials)
+		}
+		if got := cfg.Metrics.Injections.Load(); got != int64(total) {
+			b.Fatalf("telemetry drift: counted %d injections, ran %d", got, total)
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "injections/s")
+	}
+}

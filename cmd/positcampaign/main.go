@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -pprof listener
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -40,6 +42,7 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/runner"
 	"positres/internal/sdrbench"
+	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
 
@@ -69,12 +72,39 @@ func run() int {
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Minute, "per-shard watchdog; a stuck shard is abandoned and retried (0 disables)")
 		maxRetries   = flag.Int("max-retries", 2, "retries per shard after its first attempt")
 		bitsPerShard = flag.Int("bits-per-shard", 8, "bit positions per journaled work unit")
+		telemetryOut = flag.String("telemetry-out", "", "write a JSON telemetry snapshot (schema "+telemetry.SnapshotSchema+") to this file on exit")
+		pprofAddr    = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060) while the campaign runs")
 		// Deliberate failure injection for the resilience e2e test
 		// (scripts/resume_e2e.sh); not for normal use.
 		crashAfter  = flag.Int("debug-crash-after", 0, "if >0, simulate a hard crash (exit 137) after N shards complete")
 		sigintAfter = flag.Int("debug-sigint-after", 0, "if >0, send ourselves SIGINT after N shards complete")
 	)
 	flag.Parse()
+
+	// Telemetry is always collected (the counters are a few atomic adds
+	// per bit/shard); the flags only control where it is exposed.
+	metrics := telemetry.New()
+	telemetry.Publish("positres.campaign", metrics)
+	if *pprofAddr != "" {
+		go func() {
+			// expvar's init hooked /debug/vars into the default mux and
+			// net/http/pprof hooked /debug/pprof/*; serving the default
+			// mux exposes both.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "positcampaign: pprof listener:", err)
+			}
+		}()
+	}
+	// The snapshot is written on every exit path — complete, partial,
+	// interrupted or fatal — and never changes the exit code: telemetry
+	// must observe failures, not mask them.
+	if *telemetryOut != "" {
+		defer func() {
+			if err := atomicio.WriteFile(*telemetryOut, metrics.WriteSnapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "positcampaign: telemetry snapshot:", err)
+			}
+		}()
+	}
 
 	if *fieldFlag == "" {
 		flag.Usage()
@@ -108,6 +138,7 @@ func run() int {
 	cfg.Seed = *seed
 	cfg.TrialsPerBit = *trials
 	cfg.SkipZeros = !*keepZeros
+	cfg.Metrics = metrics
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -163,6 +194,7 @@ func run() int {
 		BitsPerShard: *bitsPerShard,
 		ShardTimeout: *shardTimeout,
 		MaxRetries:   *maxRetries,
+		Metrics:      metrics,
 		OnShardDone: func(st runner.ShardStatus) {
 			if st.State == runner.ShardFailed {
 				fmt.Fprintf(os.Stderr, "positcampaign: shard %s failed: %s\n", st.ID(), st.Error)

@@ -25,6 +25,7 @@ import (
 	"positres/internal/qcat"
 	"positres/internal/sdrbench"
 	"positres/internal/stats"
+	"positres/internal/telemetry"
 )
 
 // Config parameterizes a campaign.
@@ -44,6 +45,12 @@ type Config struct {
 	SkipZeros bool
 	// MaxSelectAttempts bounds the zero-rejection loop per trial.
 	MaxSelectAttempts int
+	// Metrics, when non-nil, receives injection and bit-completion
+	// counts as the campaign runs (telemetry.Snapshot derives
+	// injections/sec from them). It never affects results and is
+	// deliberately excluded from the runner's campaign identity
+	// (campaignParams), like Workers.
+	Metrics *telemetry.Metrics
 }
 
 // DefaultConfig mirrors the paper's campaign parameters.
@@ -159,6 +166,8 @@ func RunRange(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey stri
 				}
 				out := trials[(bit-lo)*cfg.TrialsPerBit : (bit-lo+1)*cfg.TrialsPerBit]
 				runBit(cfg, codec, fieldKey, data, bit, out)
+				cfg.Metrics.AddInjections(len(out))
+				cfg.Metrics.AddBitDone()
 			}
 		}()
 	}
@@ -178,12 +187,16 @@ feed:
 	return trials, nil
 }
 
-// runBit executes all trials for one bit position.
+// runBit executes all trials for one bit position. The PRNG stream of
+// trial (bit, seq) is keyed by (seed, field, codec, bit, seq); the
+// label-hash prefix is folded once per bit and extended per trial, so
+// the loop body allocates nothing (the per-trial NewRNG + strconv
+// calls used to dominate the allocation profile of a campaign).
 func runBit(cfg Config, codec numfmt.Codec, fieldKey string, data []float64, bit int, out []Trial) {
 	sizer, hasRegime := codec.(numfmt.RegimeSizer)
+	prefix := sdrbench.NewLabelHash(fieldKey, codec.Name(), "bit"+strconv.Itoa(bit))
 	for seq := range out {
-		rng := sdrbench.NewRNG(cfg.Seed, fieldKey, codec.Name(),
-			"bit"+strconv.Itoa(bit), strconv.Itoa(seq))
+		rng := sdrbench.RNGFromHash(cfg.Seed, prefix.WithInt(seq))
 		idx := rng.Intn(len(data))
 		if cfg.SkipZeros {
 			for attempt := 0; data[idx] == 0 && attempt < cfg.MaxSelectAttempts; attempt++ {

@@ -90,6 +90,7 @@ func AllRules() []Rule {
 		NewCtxLoop(),
 		NewErrDrop(),
 		NewAtomicWrite(),
+		NewPkgDoc(),
 	}
 }
 

@@ -104,6 +104,7 @@ func TestWaitGroupFixture(t *testing.T)   { checkFixture(t, "waitgroup") }
 func TestCtxLoopFixture(t *testing.T)     { checkFixture(t, "ctxloop") }
 func TestErrDropFixture(t *testing.T)     { checkFixture(t, "errdrop") }
 func TestAtomicWriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
+func TestPkgDocFixture(t *testing.T)      { checkFixture(t, "pkgdoc") }
 
 // TestEndToEndAllRules lints the synthetic package that trips every
 // rule and asserts the exact diagnostic set, pinning rule IDs,
@@ -121,15 +122,16 @@ func TestEndToEndAllRules(t *testing.T) {
 		rule string
 		frag string
 	}{
-		{24, "mutexcopy", "parameter copies guarded by value"},
-		{27, "ctxloop", "captures a loop variable"},
-		{27, "ctxloop", "never consults the enclosing function's context.Context"},
-		{28, "waitgroup", "wg.Add inside the spawned goroutine races with Wait"},
-		{34, "errdrop", "error result of fallible is discarded"},
-		{35, "atomicwrite", "os.WriteFile writes the final path non-atomically"},
-		{38, "narcheck", "arithmetic on posit decode result c.Decode(b)"},
-		{42, "shiftrange", "signed shift count n is unguarded"},
-		{43, "floatcmp", "float equality (==)"},
+		{1, "pkgdoc", "package all has no package doc comment"},
+		{21, "mutexcopy", "parameter copies guarded by value"},
+		{24, "ctxloop", "captures a loop variable"},
+		{24, "ctxloop", "never consults the enclosing function's context.Context"},
+		{25, "waitgroup", "wg.Add inside the spawned goroutine races with Wait"},
+		{31, "errdrop", "error result of fallible is discarded"},
+		{32, "atomicwrite", "os.WriteFile writes the final path non-atomically"},
+		{35, "narcheck", "arithmetic on posit decode result c.Decode(b)"},
+		{39, "shiftrange", "signed shift count n is unguarded"},
+		{40, "floatcmp", "float equality (==)"},
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {
@@ -212,7 +214,8 @@ func TestSuppressionsRejectUndocumented(t *testing.T) {
 
 func TestInlineIgnore(t *testing.T) {
 	dir := t.TempDir()
-	src := `package p
+	src := `// Package p is an inline-suppression fixture.
+package p
 
 func cmp(a, b float64) bool {
 	//positlint:ignore floatcmp exact identity check for the test

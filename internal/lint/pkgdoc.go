@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PkgDoc flags packages with no package documentation comment on any
+// file. The repo is navigated through godoc-style docs (ARCHITECTURE.md
+// links into them); a package without a doc comment is invisible in
+// that map, and the convention that every package states its paper
+// tie-in (§ references) only holds if the comment exists at all.
+// Putting the rule in positlint makes the convention self-enforcing:
+// `make lint` fails on a new undocumented package.
+//
+// A package passes if at least one of its non-test files carries a
+// doc comment immediately above its package clause. Test files are
+// not loaded by the analyzer, so doc comments there do not count.
+type PkgDoc struct{}
+
+// NewPkgDoc returns the rule.
+func NewPkgDoc() *PkgDoc { return &PkgDoc{} }
+
+// ID implements Rule.
+func (*PkgDoc) ID() string { return "pkgdoc" }
+
+// Doc implements Rule.
+func (*PkgDoc) Doc() string {
+	return "flags packages that lack a package documentation comment"
+}
+
+// Check implements Rule.
+func (r *PkgDoc) Check(pass *Pass) []Diagnostic {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	var first *ast.File
+	firstName := ""
+	for _, f := range pass.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return nil
+		}
+		name := pass.Fset.Position(f.Package).Filename
+		if first == nil || name < firstName {
+			first, firstName = f, name
+		}
+	}
+	return []Diagnostic{pass.Diag(r, first.Package,
+		"package %s has no package doc comment on any file; document the package's purpose above one package clause", first.Name.Name)}
+}

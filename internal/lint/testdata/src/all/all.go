@@ -1,7 +1,4 @@
-// Package all is the end-to-end positlint fixture: it trips every
-// rule exactly once, and the e2e test asserts the exact diagnostic
-// set.
-package all
+package all // the end-to-end fixture: trips every rule once, including pkgdoc (no doc comment)
 
 import (
 	"context"

@@ -1,0 +1,3 @@
+package pkgdoc // want "package pkgdoc has no package doc comment"
+
+func unused() int { return 1 }

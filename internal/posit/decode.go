@@ -4,13 +4,33 @@ import "math"
 
 // DecodeFloat64 converts a posit bit pattern to float64.
 //
+// For the standard 8- and 16-bit configurations the decode is a
+// single lookup in a table precomputed at init (see lut.go); all
+// other configurations take the generic field-scan path. The two
+// paths agree bit for bit — lut_test.go proves it exhaustively — so
+// callers never observe which one served them.
+//
+// Zero decodes to +0 and NaR to NaN.
+func DecodeFloat64(cfg Config, bitsIn uint64) float64 {
+	switch cfg {
+	case Std8:
+		return decodeLUT8[bitsIn&0xFF]
+	case Std16:
+		return decodeLUT16[bitsIn&0xFFFF]
+	}
+	return DecodeFloat64Generic(cfg, bitsIn)
+}
+
+// DecodeFloat64Generic is the table-free decode path, valid for every
+// configuration. It is exported (rather than folded into DecodeFloat64)
+// so the LUT equivalence tests and cmd/positbench can measure the
+// pre-LUT baseline against the table lookup.
+//
 // Decoding follows the classical two's-complement method: negative
 // patterns are negated, the magnitude fields are read, and the value is
 // (1 + f) × 2^((r << ES) + e). The result is exact for N <= 32; for
 // posit64 the up-to-59-bit fraction incurs a single float64 rounding.
-//
-// Zero decodes to +0 and NaR to NaN.
-func DecodeFloat64(cfg Config, bitsIn uint64) float64 {
+func DecodeFloat64Generic(cfg Config, bitsIn uint64) float64 {
 	b := cfg.Canon(bitsIn)
 	if b == 0 {
 		return 0

@@ -1,0 +1,27 @@
+package posit
+
+// Decode lookup tables for the two standard widths small enough to
+// tabulate exhaustively: posit8 (256 entries, 2 KiB) and posit16
+// (65536 entries, 512 KiB). The fault-injection campaign decodes two
+// patterns per trial (the clean encoding and the corrupted one), so
+// for 8- and 16-bit campaigns the decode is the hottest substrate
+// call; a table turns the regime scan + Ldexp into one indexed load.
+//
+// The tables are built once at package init by the generic decoder,
+// so they are correct by construction relative to it; the exhaustive
+// cross-checks in lut_test.go additionally pin every entry against
+// DecodeFloat64Generic and the independent eq. (2) decoder. Build
+// cost is ~1.3 ms for both tables combined, paid by any importer.
+var (
+	decodeLUT8  [1 << 8]float64
+	decodeLUT16 [1 << 16]float64
+)
+
+func init() {
+	for b := range decodeLUT8 {
+		decodeLUT8[b] = DecodeFloat64Generic(Std8, uint64(b))
+	}
+	for b := range decodeLUT16 {
+		decodeLUT16[b] = DecodeFloat64Generic(Std16, uint64(b))
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/sdrbench"
 	"positres/internal/stats"
+	"positres/internal/telemetry"
 )
 
 // Config parameterizes a durable campaign run.
@@ -74,6 +75,12 @@ type Config struct {
 	// happens (progress reporting, crash injection in the e2e test).
 	// It is called serially.
 	OnShardDone func(st ShardStatus)
+	// Metrics, when non-nil, receives shard lifecycle counts, the
+	// shard latency histogram, retry/backoff tallies and worker busy
+	// time as the run progresses; it is also propagated to the core
+	// engine so injection counts land in the same set. Purely
+	// observational — never part of campaign identity.
+	Metrics *telemetry.Metrics
 }
 
 func (cfg *Config) withDefaults() Config {
@@ -93,6 +100,10 @@ func (cfg *Config) withDefaults() Config {
 	if c.Campaign.Workers <= 0 {
 		c.Campaign.Workers = 1
 	}
+	if c.Campaign.Metrics == nil {
+		c.Campaign.Metrics = c.Metrics
+	}
+	c.Metrics.SetWorkers(c.Workers)
 	return c
 }
 
@@ -196,6 +207,9 @@ func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 			slots[i].status.Attempts = meta.Attempts
 			slots[i].status.DurationNS = meta.DurationNS
 			slots[i].trials = trials
+			// Attempts = 1: the retries happened in the previous run
+			// and were counted by that run's metrics.
+			c.Metrics.ObserveShard(ShardResumed, 0, 1)
 		}
 	}
 	statuses := make([]ShardStatus, len(slots))
@@ -221,6 +235,7 @@ func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 				if ctx.Err() != nil {
 					continue // cancelled: drain remaining shards without working
 				}
+				busyStart := time.Now()
 				sh := shards[i]
 				data, err := cache.get(sh.Spec)
 				if err != nil {
@@ -241,6 +256,9 @@ func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 					slots[i].status = status
 					slots[i].trials = trials
 				}
+				c.Metrics.AddWorkerBusy(time.Since(busyStart))
+				c.Metrics.ObserveShard(slots[i].status.State,
+					slots[i].status.Duration(), slots[i].status.Attempts)
 				mu.Lock()
 				if c.OnShardDone != nil {
 					c.OnShardDone(slots[i].status)
@@ -346,7 +364,9 @@ func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, da
 	for attempt := 1; attempt <= cfg.MaxRetries+1; attempt++ {
 		st.Attempts = attempt
 		if attempt > 1 {
-			if err := cfg.sleep(ctx, backoff(cfg.RetryBaseDelay, attempt-1)); err != nil {
+			wait := backoff(cfg.RetryBaseDelay, attempt-1)
+			cfg.Metrics.ObserveBackoff(wait)
+			if err := cfg.sleep(ctx, wait); err != nil {
 				st.State = ShardSkipped
 				st.Error = err.Error()
 				return nil, st

@@ -13,6 +13,7 @@ import (
 
 	"positres/internal/core"
 	"positres/internal/numfmt"
+	"positres/internal/telemetry"
 )
 
 func testSpecs() []Spec {
@@ -380,6 +381,81 @@ func TestRunSpecValidation(t *testing.T) {
 
 // TestShardIDStable: shard IDs are filesystem-safe and stable — they
 // are journal filenames, so a change silently orphans journals.
+// TestRunnerTelemetry: the metrics threaded through Config must
+// reconcile exactly with the Report — shard tallies, injection
+// counts (shards × bits × trials), latency histogram population,
+// retry/backoff counts — and a resumed run must count resumed shards
+// without re-counting the first run's retries.
+func TestRunnerTelemetry(t *testing.T) {
+	specs := testSpecs()
+	dir := t.TempDir()
+
+	cfg := testCfg(dir)
+	cfg.Metrics = telemetry.New()
+	cfg.MaxRetries = 2
+	// One transient failure on a single shard to exercise retry and
+	// backoff accounting.
+	var faulted atomic.Bool
+	cfg.FaultHook = func(sh Shard, attempt int) error {
+		if attempt == 1 && !faulted.Swap(true) {
+			return errors.New("transient")
+		}
+		return nil
+	}
+	rep, err := Run(context.Background(), cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("campaign not complete: %+v", rep)
+	}
+	s := cfg.Metrics.Snapshot()
+	if s.ShardsDone != int64(testShardTotal) {
+		t.Errorf("ShardsDone = %d, want %d", s.ShardsDone, testShardTotal)
+	}
+	// testSpecs: posit16 (16 bits) + ieee32 (32 bits), 5 trials/bit.
+	wantInjections := int64((16 + 32) * 5)
+	if s.Injections != wantInjections {
+		t.Errorf("Injections = %d, want %d", s.Injections, wantInjections)
+	}
+	if s.BitsDone != 16+32 {
+		t.Errorf("BitsDone = %d, want %d", s.BitsDone, 16+32)
+	}
+	if s.ShardLatency.Count != int64(testShardTotal) {
+		t.Errorf("latency histogram count = %d, want %d", s.ShardLatency.Count, testShardTotal)
+	}
+	if s.Retries != 1 || s.Backoffs != 1 {
+		t.Errorf("Retries/Backoffs = %d/%d, want 1/1", s.Retries, s.Backoffs)
+	}
+	if s.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", s.Workers)
+	}
+	if s.WorkerBusyNS <= 0 {
+		t.Error("WorkerBusyNS not accumulated")
+	}
+
+	// Resume the finished campaign: every shard loads from the
+	// journal, so the new metric set must count only resumed shards.
+	cfg2 := testCfg(dir)
+	cfg2.Resume = true
+	cfg2.Metrics = telemetry.New()
+	rep2, err := Run(context.Background(), cfg2, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Resumed != testShardTotal {
+		t.Fatalf("resumed = %d, want %d", rep2.Resumed, testShardTotal)
+	}
+	s2 := cfg2.Metrics.Snapshot()
+	if s2.ShardsResumed != int64(testShardTotal) {
+		t.Errorf("ShardsResumed = %d, want %d", s2.ShardsResumed, testShardTotal)
+	}
+	if s2.ShardsDone != 0 || s2.Injections != 0 || s2.Retries != 0 {
+		t.Errorf("resumed run recomputed work: done=%d injections=%d retries=%d",
+			s2.ShardsDone, s2.Injections, s2.Retries)
+	}
+}
+
 func TestShardIDStable(t *testing.T) {
 	sh := Shard{Spec: Spec{Field: "CESM/CLOUD", Codec: "posit16"}, BitLo: 4, BitHi: 8}
 	if got, want := sh.ID(), "CESM_CLOUD.posit16.b04-08"; got != want {

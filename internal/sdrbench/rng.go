@@ -42,18 +42,93 @@ func splitmix64(x *uint64) uint64 {
 // labels (field name, codec, bit position, ...). Streams with
 // different labels are statistically independent.
 func NewRNG(seed uint64, labels ...string) *RNG {
-	// Mix the labels into the seed with FNV-1a.
-	h := uint64(1469598103934665603)
+	r := RNGFromHash(seed, NewLabelHash(labels...))
+	return &r
+}
+
+// LabelHash is the label-mixing state NewRNG folds its labels into —
+// an FNV-1a accumulator with a 0xFF separator after each label. It is
+// exposed so hot loops can precompute the hash of their fixed label
+// prefix once and derive per-trial streams without re-hashing (or
+// allocating) the prefix strings on every draw:
+//
+//	base := NewLabelHash(field, codec, bitLabel)
+//	for seq := 0; seq < n; seq++ {
+//		rng := RNGFromHash(seed, base.WithInt(seq)) // zero allocations
+//	}
+//
+// The derived stream is bit-identical to NewRNG with the equivalent
+// flat label list; TestLabelHashEquivalence pins this, because every
+// journaled campaign replays through these streams.
+type LabelHash uint64
+
+// fnvOffset/fnvPrime are the standard 64-bit FNV-1a parameters.
+const (
+	fnvOffset = 1469598103934665603
+	fnvPrime  = 1099511628211
+)
+
+// NewLabelHash folds labels into a fresh accumulator.
+func NewLabelHash(labels ...string) LabelHash {
+	h := LabelHash(fnvOffset)
 	for _, l := range labels {
-		for i := 0; i < len(l); i++ {
-			h ^= uint64(l[i])
-			h *= 1099511628211
-		}
-		h ^= 0xFF // label separator
-		h *= 1099511628211
+		h = h.WithLabel(l)
 	}
-	x := seed ^ h
-	r := &RNG{}
+	return h
+}
+
+// WithLabel returns the hash extended by one label (value semantics:
+// the receiver is unchanged, so a prefix can be reused).
+func (h LabelHash) WithLabel(l string) LabelHash {
+	x := uint64(h)
+	for i := 0; i < len(l); i++ {
+		x ^= uint64(l[i])
+		x *= fnvPrime
+	}
+	x ^= 0xFF // label separator
+	x *= fnvPrime
+	return LabelHash(x)
+}
+
+// WithInt extends the hash exactly as WithLabel(strconv.Itoa(n))
+// would, without materializing the string. Campaign hot loops use it
+// for the per-trial sequence label.
+func (h LabelHash) WithInt(n int) LabelHash {
+	var buf [20]byte // enough for -9223372036854775808
+	i := len(buf)
+	u := uint64(n)
+	if n < 0 {
+		u = uint64(-n)
+	}
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	if n < 0 {
+		i--
+		buf[i] = '-'
+	}
+	x := uint64(h)
+	for ; i < len(buf); i++ {
+		x ^= uint64(buf[i])
+		x *= fnvPrime
+	}
+	x ^= 0xFF // label separator
+	x *= fnvPrime
+	return LabelHash(x)
+}
+
+// RNGFromHash seeds a generator from a precomputed label hash. It
+// returns the RNG by value so callers in hot loops keep it on the
+// stack; the stream is identical to NewRNG with the same seed and the
+// labels folded into h.
+func RNGFromHash(seed uint64, h LabelHash) RNG {
+	x := seed ^ uint64(h)
+	var r RNG
 	for i := range r.s {
 		r.s[i] = splitmix64(&x)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"positres/internal/stats"
@@ -287,6 +288,43 @@ func TestRNGStreams(t *testing.T) {
 	}
 	if same {
 		t.Error("label separator is not effective")
+	}
+}
+
+// TestLabelHashEquivalence: the precomputed-hash fast path used by the
+// campaign hot loop must reproduce NewRNG's streams bit for bit —
+// journaled campaigns replay through these streams, so any divergence
+// silently changes every result.
+func TestLabelHashEquivalence(t *testing.T) {
+	cases := [][]string{
+		{"Nyx/temperature", "posit32", "bit17", "42"},
+		{"x"},
+		{},
+		{"", ""},
+		{"HACC/vx", "ieee32", "bit0", "0"},
+	}
+	for _, labels := range cases {
+		want := NewRNG(7, labels...)
+		got := RNGFromHash(7, NewLabelHash(labels...))
+		for i := 0; i < 64; i++ {
+			if want.Uint64() != got.Uint64() {
+				t.Fatalf("RNGFromHash diverged from NewRNG for labels %q", labels)
+			}
+		}
+	}
+	// WithInt must hash exactly like the decimal string label.
+	ints := []int{0, 1, 9, 10, 99, 313, 65535, 1 << 30, -1, -313}
+	for _, n := range ints {
+		a := NewLabelHash("prefix").WithInt(n)
+		b := NewLabelHash("prefix").WithLabel(strconv.Itoa(n))
+		if a != b {
+			t.Errorf("WithInt(%d) = %#x, WithLabel(%q) = %#x", n, a, strconv.Itoa(n), b)
+		}
+	}
+	// Prefix reuse: extending a saved prefix equals flat hashing.
+	base := NewLabelHash("f", "c").WithLabel("bit3")
+	if base.WithInt(12) != NewLabelHash("f", "c", "bit3", "12") {
+		t.Error("prefix extension diverged from flat label list")
 	}
 }
 

@@ -44,6 +44,16 @@ if $GO run ./cmd/positlint ./internal/lint/testdata/src/all >/dev/null 2>&1; the
 fi
 echo "fixture trips as expected"
 
+banner "positbench smoke: benchmark driver runs and emits a valid baseline"
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+$GO run ./cmd/positbench -smoke -out "$bench_out" >/dev/null
+grep -q '"schema": "positres-bench/v1"' "$bench_out" || {
+	echo "positbench baseline missing schema tag"
+	exit 1
+}
+echo "ok"
+
 banner "go test -short ./..."
 $GO test -short ./...
 
