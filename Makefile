@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race ci resume-e2e bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint race ci resume-e2e serve-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -37,6 +37,16 @@ ci:
 # both, require byte-identical CSVs (docs/RESILIENCE.md).
 resume-e2e:
 	./scripts/resume_e2e.sh
+
+# HTTP twin of resume-e2e: run a campaign through positserve, crash
+# the server mid-run, restart it, require auto-resume and
+# byte-identical CSVs (docs/SERVICE.md).
+serve-e2e:
+	./scripts/serve_e2e.sh
+
+# Run the campaign service locally (docs/SERVICE.md has the API).
+serve:
+	$(GO) run ./cmd/positserve -data-dir serve-state
 
 # Fixed-budget benchmark suite (docs/PERF.md). `bench` prints the
 # table; `bench-json` also writes the schema-versioned trajectory file

@@ -1,0 +1,57 @@
+package runner_test
+
+// Runnable godoc examples for durable job submission. These compile
+// and execute under `go test`, so the snippets embedded in
+// docs/SERVICE.md and docs/RESILIENCE.md cannot rot.
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"positres/internal/core"
+	"positres/internal/runner"
+)
+
+// ExampleRun submits a tiny durable campaign job: one (field, codec)
+// spec, journaled under a state directory so an interrupted run could
+// be resumed with Config.Resume. The output is deterministic because
+// every trial draws from a PRNG stream keyed by (seed, field, codec,
+// bit, trial).
+func ExampleRun() {
+	dir, err := os.MkdirTemp("", "runner-example")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := runner.Config{
+		Campaign: core.Config{Seed: 1, TrialsPerBit: 2, SkipZeros: true},
+		Dir:      dir, // journal + manifest live here; "" would disable durability
+		Workers:  2,
+	}
+	specs := []runner.Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 256, Seed: 1}}
+
+	rep, err := runner.Run(context.Background(), cfg, specs)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("outcome:", rep.Outcome())
+	fmt.Println("shards completed:", rep.Completed)
+	fmt.Println("trials:", len(rep.Results[0].Trials))
+
+	// The manifest a supervisor would poll:
+	man, err := runner.ReadManifest(dir)
+	if err != nil {
+		fmt.Println("manifest:", err)
+		return
+	}
+	fmt.Println("manifest state:", man.State)
+	// Output:
+	// outcome: complete
+	// shards completed: 1
+	// trials: 16
+	// manifest state: complete
+}

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"positres/internal/core"
+)
+
+// tinyConfig returns a fast durable campaign config for job-API tests.
+func tinyConfig(dir string) Config {
+	return Config{
+		Campaign: core.Config{Seed: 1, TrialsPerBit: 2, SkipZeros: true},
+		Dir:      dir,
+		Workers:  2,
+	}
+}
+
+func TestReadManifest(t *testing.T) {
+	dir := t.TempDir()
+
+	// A fresh directory has no manifest — and that is not an error.
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest(empty) error: %v", err)
+	}
+	if m != nil {
+		t.Fatalf("ReadManifest(empty) = %+v, want nil", m)
+	}
+
+	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 256, Seed: 1}}
+	rep, err := Run(context.Background(), tinyConfig(dir), specs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("campaign not complete: %+v", rep)
+	}
+
+	m, err = ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if m == nil {
+		t.Fatal("ReadManifest returned nil after a completed run")
+	}
+	if m.State != StateComplete {
+		t.Fatalf("manifest state = %q, want %q", m.State, StateComplete)
+	}
+	if len(m.Specs) != 1 || m.Specs[0] != specs[0] {
+		t.Fatalf("manifest specs = %+v, want %+v", m.Specs, specs)
+	}
+	if m.State != rep.Outcome() {
+		t.Fatalf("manifest state %q != report outcome %q", m.State, rep.Outcome())
+	}
+}
+
+func TestReportOutcome(t *testing.T) {
+	cases := []struct {
+		rep  Report
+		want string
+	}{
+		{Report{}, StateComplete},
+		{Report{Failed: 1}, StatePartial},
+		{Report{Cancelled: true}, StateCancelled},
+		{Report{Cancelled: true, Failed: 3}, StateCancelled},
+	}
+	for _, c := range cases {
+		if got := c.rep.Outcome(); got != c.want {
+			t.Errorf("Outcome(%+v) = %q, want %q", c.rep, got, c.want)
+		}
+	}
+}
+
+func TestShardsFor(t *testing.T) {
+	cases := []struct{ width, per, want int }{
+		{8, 8, 1},
+		{16, 8, 2},
+		{32, 8, 4},
+		{32, 5, 7},
+		{16, 4, 4},
+		{32, 0, 4}, // 0 means the default granularity of 8
+	}
+	for _, c := range cases {
+		if got := ShardsFor(c.width, c.per); got != c.want {
+			t.Errorf("ShardsFor(%d, %d) = %d, want %d", c.width, c.per, got, c.want)
+		}
+	}
+}

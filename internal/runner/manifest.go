@@ -43,10 +43,18 @@ const (
 // aggregated into the Report.
 type ShardStatus struct {
 	Shard
-	State      string `json:"state"`
-	Attempts   int    `json:"attempts,omitempty"`
-	DurationNS int64  `json:"duration_ns,omitempty"`
-	Error      string `json:"error,omitempty"`
+	// State is one of ShardDone, ShardResumed, ShardFailed,
+	// ShardSkipped.
+	State string `json:"state"`
+	// Attempts counts executions including the successful one; 0 for
+	// resumed and skipped shards.
+	Attempts int `json:"attempts,omitempty"`
+	// DurationNS is the compute wall time of the final attempt in
+	// nanoseconds (0 for resumed/skipped shards); Duration converts it.
+	DurationNS int64 `json:"duration_ns,omitempty"`
+	// Error is the final attempt's failure, "" unless State is
+	// ShardFailed.
+	Error string `json:"error,omitempty"`
 }
 
 // Duration returns the shard's recorded compute time.
@@ -58,14 +66,28 @@ func (s ShardStatus) Duration() time.Duration { return time.Duration(s.DurationN
 // campaign parameters a resume must match), the shard plan, and the
 // final outcome for operators and tooling.
 type Manifest struct {
-	Version      int            `json:"version"`
-	State        string         `json:"state"`
-	CreatedAt    string         `json:"created_at"`
-	UpdatedAt    string         `json:"updated_at"`
-	Campaign     campaignParams `json:"campaign"`
-	BitsPerShard int            `json:"bits_per_shard"`
-	Specs        []Spec         `json:"specs"`
-	Shards       []ShardStatus  `json:"shards,omitempty"`
+	// Version is the manifest schema version (currently 1); loading
+	// any other value fails rather than misreading the layout.
+	Version int `json:"version"`
+	// State is one of StateRunning, StateComplete, StatePartial,
+	// StateCancelled.
+	State string `json:"state"`
+	// CreatedAt is the RFC 3339 UTC time the campaign first started.
+	CreatedAt string `json:"created_at"`
+	// UpdatedAt is the RFC 3339 UTC time of the last manifest write;
+	// rewritten on every write.
+	UpdatedAt string `json:"updated_at"`
+	// Campaign is the identity a resume must match exactly (seed,
+	// trials per bit, zero handling, selection bound).
+	Campaign campaignParams `json:"campaign"`
+	// BitsPerShard is the sharding granularity the journal was cut at;
+	// part of the resume identity.
+	BitsPerShard int `json:"bits_per_shard"`
+	// Specs is the ordered campaign matrix.
+	Specs []Spec `json:"specs"`
+	// Shards, present once the run finishes, records every shard
+	// outcome in (spec, bit) order.
+	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
 const manifestVersion = 1

@@ -124,11 +124,12 @@ func (cfg *Config) sleep(ctx context.Context, d time.Duration) error {
 
 // Report is the outcome of a durable campaign run.
 type Report struct {
-	// Specs echoes the input matrix; Results is index-aligned with it.
-	// A spec whose shards all completed (freshly or from the journal)
-	// gets an assembled *core.Result with trials in bit order; a spec
-	// with failed or skipped shards gets nil.
-	Specs   []Spec
+	// Specs echoes the input matrix.
+	Specs []Spec
+	// Results is index-aligned with Specs. A spec whose shards all
+	// completed (freshly or from the journal) gets an assembled
+	// *core.Result with trials in bit order; a spec with failed or
+	// skipped shards gets nil.
 	Results []*core.Result
 	// Shards lists every shard outcome in deterministic (spec, bit)
 	// order.

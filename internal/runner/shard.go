@@ -27,8 +27,8 @@ func (s Spec) Key() string { return s.Field + " " + s.Codec }
 // restart — the property TestResumeEquivalence pins.
 type Shard struct {
 	Spec
-	BitLo int `json:"bit_lo"`
-	BitHi int `json:"bit_hi"` // exclusive
+	BitLo int `json:"bit_lo"` // first bit position covered (inclusive)
+	BitHi int `json:"bit_hi"` // one past the last bit position (exclusive)
 }
 
 // ID returns the shard's stable, filesystem-safe identifier, used as

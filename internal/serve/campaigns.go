@@ -1,0 +1,199 @@
+package serve
+
+// The campaign endpoints: POST /v1/campaigns submits a durable job to
+// the bounded queue (202 + status URL, or 429 + Retry-After under
+// backpressure), GET /v1/campaigns/{id} polls it, and
+// GET /v1/campaigns/{id}/results streams one published CSV.
+// "?wait=1" on submission couples the campaign to the request's
+// context: the handler blocks until the job finishes, and if the
+// client disconnects first the cancellation threads all the way down
+// through runner.Run into core.RunRange, the runner journals what
+// completed, and a restart resumes the remainder.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// campaignStatus is the body of GET /v1/campaigns/{id} (and of the
+// submission response). State is one of queued, running, complete,
+// partial, cancelled, failed.
+type campaignStatus struct {
+	ID         string          `json:"id"`
+	State      string          `json:"state"`
+	CreatedAt  string          `json:"created_at"`
+	StartedAt  string          `json:"started_at,omitempty"`
+	FinishedAt string          `json:"finished_at,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Request    CampaignRequest `json:"request"`
+	Shards     shardCounts     `json:"shards"`
+	Results    []resultRef     `json:"results,omitempty"`
+	StatusURL  string          `json:"status_url"`
+}
+
+// statusOf snapshots a job into its API representation.
+func statusOf(j *job) campaignStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := campaignStatus{
+		ID:        j.id,
+		State:     j.state,
+		CreatedAt: j.createdAt.UTC().Format(time.RFC3339),
+		Error:     j.errMsg,
+		Request:   j.req,
+		Shards:    j.counts,
+		Results:   append([]resultRef(nil), j.results...),
+		StatusURL: "/v1/campaigns/" + j.id,
+	}
+	if !j.startedAt.IsZero() {
+		st.StartedAt = j.startedAt.UTC().Format(time.RFC3339)
+	}
+	if !j.finishedAt.IsZero() {
+		st.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339)
+	}
+	return st
+}
+
+// handleSubmitCampaign serves POST /v1/campaigns.
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.draining() {
+		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
+		return
+	}
+	var req CampaignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	j, verr := s.jobs.submit(req)
+	if verr != nil {
+		status := http.StatusBadRequest
+		switch verr.code {
+		case codeQueueFull:
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "5")
+		case codeDraining:
+			status = http.StatusServiceUnavailable
+		case codeInternal:
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, verr.code, "%s", verr.msg)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "1" {
+		// Couple the campaign to this request: block until terminal,
+		// and cancel the job if the client goes away first. The
+		// journaled shards survive either way.
+		select {
+		case <-j.done:
+			writeJSON(w, http.StatusOK, statusOf(j))
+		case <-r.Context().Done():
+			j.cancelRun()
+			<-j.done // runner drains and journals before the job finishes
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+j.id)
+	writeJSON(w, http.StatusAccepted, statusOf(j))
+}
+
+// handleCampaignStatus serves GET /v1/campaigns/{id}.
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(j))
+}
+
+// handleCampaignResults serves GET /v1/campaigns/{id}/results,
+// streaming one (field, format) CSV. Both query parameters may be
+// omitted when the campaign published exactly one result.
+func (s *Server) handleCampaignResults(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	st := statusOf(j)
+	switch st.State {
+	case jobComplete, jobPartial:
+		// has results to serve
+	case jobFailed, jobCancelled:
+		writeError(w, http.StatusConflict, codeNotReady,
+			"campaign %s finished %s; no results were published", st.ID, st.State)
+		return
+	default:
+		writeError(w, http.StatusConflict, codeNotReady,
+			"campaign %s is %s; results are published on completion", st.ID, st.State)
+		return
+	}
+	if len(st.Results) == 0 {
+		writeError(w, http.StatusConflict, codeNotReady,
+			"campaign %s published no results (all shards failed)", st.ID)
+		return
+	}
+
+	field, format := r.URL.Query().Get("field"), r.URL.Query().Get("format")
+	var ref *resultRef
+	switch {
+	case field == "" && format == "" && len(st.Results) == 1:
+		ref = &st.Results[0]
+	case field != "" && format != "":
+		for i := range st.Results {
+			if st.Results[i].Field == field && st.Results[i].Format == format {
+				ref = &st.Results[i]
+				break
+			}
+		}
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"campaign %s has %d results; select one with ?field=...&format=...", st.ID, len(st.Results))
+		return
+	}
+	if ref == nil {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			"campaign %s has no published result for field %q format %q", st.ID, field, format)
+		return
+	}
+
+	f, err := os.Open(filepath.Join(j.dir, csvName(ref.Field, ref.Format)))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "open result: %v", err)
+		return
+	}
+	defer func() {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "positserve: result close:", err)
+		}
+	}()
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.Copy(w, f); err != nil {
+		// Headers are committed; all we can do is log the broken pipe.
+		fmt.Fprintln(os.Stderr, "positserve: result stream:", err)
+	}
+}
+
+// lookupJob resolves the {id} path value, writing the JSON error
+// itself when the id is malformed or unknown.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	if !validJobID(id) {
+		writeError(w, http.StatusNotFound, codeNotFound, "malformed campaign id %q", id)
+		return nil, false
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, "no campaign %q", id)
+		return nil, false
+	}
+	return j, true
+}

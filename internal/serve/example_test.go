@@ -1,0 +1,75 @@
+package serve_test
+
+// Runnable godoc example for the positserve client path. It compiles
+// and executes under `go test`, so the request/response shapes quoted
+// in docs/SERVICE.md cannot rot.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"positres/internal/serve"
+)
+
+// ExampleNew drives the synchronous what-if endpoint end to end: in
+// posit8, flipping bit 6 of the encoding of 1.0 (0x40, the regime's
+// most significant bit) collapses the value to zero — relative error
+// 1, but not catastrophic (no NaR involved).
+func ExampleNew() {
+	dir, err := os.MkdirTemp("", "serve-example")
+	if err != nil {
+		fmt.Println("tempdir:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := serve.New(serve.Config{DataDir: dir})
+	if err != nil {
+		fmt.Println("new:", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	defer func() { cancel(); srv.Wait() }()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/inject", "application/json",
+		strings.NewReader(`{"format":"posit8","value":1.0,"bit":6}`))
+	if err != nil {
+		fmt.Println("post:", err)
+		return
+	}
+	defer resp.Body.Close()
+
+	var out struct {
+		BitField     string      `json:"bit_field"`
+		FaultyBits   string      `json:"faulty_bits"`
+		FaultyValue  json.Number `json:"faulty_value"`
+		RelErr       json.Number `json:"rel_err"`
+		Catastrophic bool        `json:"catastrophic"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println("decode:", err)
+		return
+	}
+	fmt.Println("status:", resp.StatusCode)
+	fmt.Println("bit_field:", out.BitField)
+	fmt.Println("faulty_bits:", out.FaultyBits)
+	fmt.Println("faulty_value:", out.FaultyValue)
+	fmt.Println("rel_err:", out.RelErr)
+	fmt.Println("catastrophic:", out.Catastrophic)
+	// Output:
+	// status: 200
+	// bit_field: regime
+	// faulty_bits: 0x0
+	// faulty_value: 0
+	// rel_err: 1
+	// catastrophic: false
+}

@@ -1,0 +1,153 @@
+package serve
+
+// POST /v1/inject — the synchronous single-value, single-bit what-if
+// query: encode a value (or take a raw pattern), flip one bit, decode,
+// and report the damage. This is one trial of the paper's §4 campaign
+// served interactively; for posit8/posit16 the decode hits the
+// precomputed LUTs in internal/posit, and the pattern-derived half of
+// the answer is LRU-cached per (format, pattern, bit) triple.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"positres/internal/bitflip"
+	"positres/internal/numfmt"
+	"positres/internal/qcat"
+)
+
+// injectRequest is the body of POST /v1/inject. Exactly one of Value
+// and Pattern must be set; Bit is required.
+type injectRequest struct {
+	// Format is a numfmt registry name, e.g. "posit32" or "ieee32".
+	Format string `json:"format"`
+	// Value is a finite float64 to encode into Format.
+	Value *float64 `json:"value"`
+	// Pattern is a raw bit pattern as a hex string ("0x4a90" or
+	// "4a90"), taken as already encoded in Format.
+	Pattern *string `json:"pattern"`
+	// Bit is the position to flip, 0 (LSB) to width-1.
+	Bit *int `json:"bit"`
+}
+
+// injectResponse is the body of a successful POST /v1/inject. Field
+// names follow the campaign CSV schema (docs/SERVICE.md documents
+// both), bit patterns are hex strings, and non-finite numbers are the
+// strings "NaN"/"+Inf"/"-Inf".
+type injectResponse struct {
+	Format       string    `json:"format"`
+	Bit          int       `json:"bit"`
+	BitField     string    `json:"bit_field"`
+	RegimeK      int       `json:"regime_k"`
+	OrigValue    jsonFloat `json:"orig_value"`
+	ReprValue    jsonFloat `json:"repr_value"`
+	OrigBits     hexBits   `json:"orig_bits"`
+	FaultyBits   hexBits   `json:"faulty_bits"`
+	FaultyValue  jsonFloat `json:"faulty_value"`
+	AbsErr       jsonFloat `json:"abs_err"`
+	RelErr       jsonFloat `json:"rel_err"`
+	Catastrophic bool      `json:"catastrophic"`
+	Cached       bool      `json:"cached"`
+}
+
+// handleInject serves POST /v1/inject.
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	var req injectRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	codec, err := numfmt.Lookup(req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownFormat,
+			"unknown format %q (known: %s)", req.Format, strings.Join(numfmt.Names(), ", "))
+		return
+	}
+	if req.Bit == nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing required field \"bit\"")
+		return
+	}
+	bit := *req.Bit
+	if bit < 0 || bit >= codec.Width() {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"bit %d out of range for %d-bit %s", bit, codec.Width(), codec.Name())
+		return
+	}
+	if (req.Value == nil) == (req.Pattern == nil) {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"exactly one of \"value\" and \"pattern\" must be set")
+		return
+	}
+
+	// Resolve the input to an encoded pattern. A value input keeps its
+	// exact float64 as the error baseline (matching core.Trial's
+	// OrigValue); a pattern input's baseline is the decoded value.
+	var pattern uint64
+	var origValue float64
+	if req.Value != nil {
+		origValue = *req.Value
+		pattern = codec.Encode(origValue)
+	} else {
+		p, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(*req.Pattern), "0x"), 16, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "invalid pattern %q: %v", *req.Pattern, err)
+			return
+		}
+		if wd := codec.Width(); wd < 64 && p>>uint(wd) != 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"pattern %q does not fit %d-bit %s", *req.Pattern, wd, codec.Name())
+			return
+		}
+		pattern = p
+	}
+
+	info, cached := s.flipInfoFor(codec, pattern, bit)
+	if req.Value == nil {
+		origValue = info.reprValue
+	}
+
+	// The error metrics are value-derived (two inputs rounding to the
+	// same pattern have different baselines), so they are computed per
+	// request from the cached pattern-derived half.
+	p := qcat.Point(origValue, info.faultyVal)
+	writeJSON(w, http.StatusOK, injectResponse{
+		Format:       codec.Name(),
+		Bit:          bit,
+		BitField:     info.bitField,
+		RegimeK:      info.regimeK,
+		OrigValue:    jsonFloat(origValue),
+		ReprValue:    jsonFloat(info.reprValue),
+		OrigBits:     hexBits(pattern),
+		FaultyBits:   hexBits(info.faultyBits),
+		FaultyValue:  jsonFloat(info.faultyVal),
+		AbsErr:       jsonFloat(p.AbsErr),
+		RelErr:       jsonFloat(p.RelErr),
+		Catastrophic: p.Catastrophic,
+		Cached:       cached,
+	})
+}
+
+// flipInfoFor returns the pattern-derived flip answer, consulting the
+// LRU first. The boolean reports whether the answer was served from
+// the cache.
+func (s *Server) flipInfoFor(codec numfmt.Codec, pattern uint64, bit int) (flipInfo, bool) {
+	key := cacheKey{format: codec.Name(), pattern: pattern, bit: bit}
+	if info, ok := s.cache.get(key); ok {
+		return info, true
+	}
+	info := flipInfo{
+		reprValue:  codec.Decode(pattern),
+		faultyBits: bitflip.Flip(pattern, bit),
+		bitField:   codec.FieldAt(pattern, bit),
+	}
+	info.faultyVal = codec.Decode(info.faultyBits)
+	if sizer, ok := codec.(numfmt.RegimeSizer); ok {
+		info.regimeK = sizer.RegimeK(pattern)
+	}
+	s.cache.put(key, info)
+	return info, false
+}

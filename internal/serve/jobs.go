@@ -1,0 +1,677 @@
+package serve
+
+// The campaign job store: a bounded submission queue drained by a
+// fixed worker pool, with every job's truth persisted under
+// DataDir/jobs/<id>/ — job.json (the normalized request) next to the
+// runner state directory (manifest + shard journal). Because the
+// runner journals every completed shard, a server crash or SIGTERM
+// loses at most in-flight shard attempts: on restart, recover() scans
+// the jobs directory and re-enqueues every unfinished job with
+// Resume, and the resumed results are byte-identical to an
+// uninterrupted run (scripts/serve_e2e.sh pins this end to end).
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"positres/internal/atomicio"
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/runner"
+	"positres/internal/sdrbench"
+	"positres/internal/telemetry"
+)
+
+// Job states served by GET /v1/campaigns/{id}. The terminal states
+// "complete", "partial" and "cancelled" deliberately reuse the
+// runner's manifest vocabulary (runner.StateComplete etc.); "queued",
+// "running" and "failed" are service-level.
+const (
+	jobQueued    = "queued"
+	jobRunning   = "running"
+	jobComplete  = runner.StateComplete
+	jobPartial   = runner.StatePartial
+	jobCancelled = runner.StateCancelled
+	jobFailed    = "failed"
+)
+
+// CampaignRequest is the body of POST /v1/campaigns. Zero fields take
+// the documented defaults at submission and the normalized request is
+// echoed back (and persisted), so a job's identity is always explicit
+// on disk.
+type CampaignRequest struct {
+	// Fields are sdrbench field keys, e.g. "CESM/CLOUD". Required.
+	Fields []string `json:"fields"`
+	// Formats are numfmt codec names, e.g. "posit16". Required.
+	Formats []string `json:"formats"`
+	// N is the synthetic element count per field; 0 means 100000.
+	N int `json:"n"`
+	// TrialsPerBit is the injections per bit position; 0 means the
+	// paper's 313.
+	TrialsPerBit int `json:"trials_per_bit"`
+	// Seed drives every random choice; campaigns with equal seeds and
+	// inputs are bit-identical. Defaults to 1.
+	Seed uint64 `json:"seed"`
+	// KeepZeros allows exactly-zero elements to be selected (their
+	// relative error is recorded as catastrophic).
+	KeepZeros bool `json:"keep_zeros"`
+	// BitsPerShard is the journaling granularity; 0 means 8.
+	BitsPerShard int `json:"bits_per_shard"`
+	// MaxRetries bounds per-shard retries after the first attempt;
+	// nil means 2.
+	MaxRetries *int `json:"max_retries,omitempty"`
+	// ShardTimeout is the per-attempt watchdog as a Go duration
+	// string; "" means "10m", "0s" disables it.
+	ShardTimeout string `json:"shard_timeout"`
+}
+
+// validationError carries the stable API error code for a rejected
+// campaign request.
+type validationError struct {
+	code string
+	msg  string
+}
+
+func (e *validationError) Error() string { return e.msg }
+
+// normalize validates the request against the field and codec
+// registries, applies defaults in place, and returns the expanded
+// spec list plus the total shard count.
+func (r *CampaignRequest) normalize() ([]runner.Spec, int, *validationError) {
+	if len(r.Fields) == 0 {
+		return nil, 0, &validationError{codeBadRequest, `"fields" must name at least one dataset field`}
+	}
+	if len(r.Formats) == 0 {
+		return nil, 0, &validationError{codeBadRequest, `"formats" must name at least one number format`}
+	}
+	if r.N == 0 {
+		r.N = 100_000
+	}
+	if r.N < 0 {
+		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"n" must be positive, got %d`, r.N)}
+	}
+	if r.TrialsPerBit == 0 {
+		r.TrialsPerBit = 313
+	}
+	if r.TrialsPerBit < 0 {
+		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"trials_per_bit" must be positive, got %d`, r.TrialsPerBit)}
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.BitsPerShard == 0 {
+		r.BitsPerShard = 8
+	}
+	if r.BitsPerShard < 0 {
+		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"bits_per_shard" must be positive, got %d`, r.BitsPerShard)}
+	}
+	if r.MaxRetries == nil {
+		two := 2
+		r.MaxRetries = &two
+	}
+	if *r.MaxRetries < 0 {
+		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"max_retries" must be >= 0, got %d`, *r.MaxRetries)}
+	}
+	if r.ShardTimeout == "" {
+		r.ShardTimeout = "10m"
+	}
+	if d, err := time.ParseDuration(r.ShardTimeout); err != nil || d < 0 {
+		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"shard_timeout" %q is not a valid non-negative Go duration`, r.ShardTimeout)}
+	}
+
+	var specs []runner.Spec
+	shards := 0
+	seen := map[string]bool{}
+	for _, f := range r.Fields {
+		if _, err := sdrbench.Lookup(f); err != nil {
+			return nil, 0, &validationError{codeUnknownField, err.Error()}
+		}
+		for _, name := range r.Formats {
+			codec, err := numfmt.Lookup(name)
+			if err != nil {
+				return nil, 0, &validationError{codeUnknownFormat, err.Error()}
+			}
+			sp := runner.Spec{Field: f, Codec: codec.Name(), N: r.N, Seed: r.Seed}
+			if seen[sp.Key()] {
+				return nil, 0, &validationError{codeBadRequest, fmt.Sprintf("duplicate (field, format) pair %s", sp.Key())}
+			}
+			seen[sp.Key()] = true
+			specs = append(specs, sp)
+			shards += runner.ShardsFor(codec.Width(), r.BitsPerShard)
+		}
+	}
+	return specs, shards, nil
+}
+
+// shardTimeout returns the parsed watchdog duration; normalize has
+// already validated it.
+func (r *CampaignRequest) shardTimeout() time.Duration {
+	d, err := time.ParseDuration(r.ShardTimeout)
+	if err != nil {
+		return 10 * time.Minute
+	}
+	return d
+}
+
+// shardCounts is the live shard tally of a job.
+type shardCounts struct {
+	Done    int `json:"done"`
+	Resumed int `json:"resumed"`
+	Failed  int `json:"failed"`
+	Skipped int `json:"skipped"`
+	Total   int `json:"total"`
+}
+
+// resultRef points a client at one (field, format) result CSV.
+type resultRef struct {
+	Field  string `json:"field"`
+	Format string `json:"format"`
+	URL    string `json:"url"`
+}
+
+// job is one submitted campaign. All mutable fields are guarded by
+// mu; done is closed exactly once when the job reaches a terminal
+// state in this process.
+type job struct {
+	id        string
+	req       CampaignRequest
+	dir       string // DataDir/jobs/<id>
+	createdAt time.Time
+	resume    bool // a prior run's state exists on disk
+
+	mu         sync.Mutex
+	state      string
+	errMsg     string
+	startedAt  time.Time
+	finishedAt time.Time
+	counts     shardCounts
+	results    []resultRef
+	cancel     context.CancelFunc // non-nil only while running
+	done       chan struct{}
+}
+
+// stateDir is the runner state directory of the job.
+func (j *job) stateDir() string { return filepath.Join(j.dir, "state") }
+
+// cancelRun requests cancellation: a queued job is marked cancelled
+// and skipped when dequeued; a running job has its context cancelled
+// and drains through the runner (completed shards stay journaled).
+func (j *job) cancelRun() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case jobQueued:
+		j.state = jobCancelled
+		j.finishedAt = time.Now()
+		close(j.done)
+	case jobRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// persistedJob is the schema of job.json — everything needed to
+// reconstruct the job after a restart.
+type persistedJob struct {
+	ID        string          `json:"id"`
+	CreatedAt string          `json:"created_at"`
+	Request   CampaignRequest `json:"request"`
+}
+
+// jobStore owns every job: the on-disk layout, the bounded queue, and
+// the worker pool. All exported-equivalent entry points (submit, get,
+// tallies) are safe for concurrent use.
+type jobStore struct {
+	dir             string // DataDir/jobs
+	queueDepth      int
+	campaignWorkers int
+	metrics         *telemetry.Metrics
+	crashAfter      int // test hook: exit(137) after N shards (0 = off)
+
+	shardsDone atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	queued int       // jobs submitted but not yet dequeued (backpressure)
+	queue  chan *job // buffered: queueDepth + recovered jobs
+	ctx    context.Context
+	wg     sync.WaitGroup
+}
+
+// newJobStore creates the store, creating dir and recovering any jobs
+// a previous process left behind. Recovered unfinished jobs are
+// already enqueued when newJobStore returns; workers start on start().
+func newJobStore(dir string, queueDepth, campaignWorkers int, metrics *telemetry.Metrics, crashAfter int) (*jobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: jobs dir: %w", err)
+	}
+	s := &jobStore{
+		dir:             dir,
+		queueDepth:      queueDepth,
+		campaignWorkers: campaignWorkers,
+		metrics:         metrics,
+		crashAfter:      crashAfter,
+		jobs:            map[string]*job{},
+	}
+	recovered, err := s.recover()
+	if err != nil {
+		return nil, err
+	}
+	s.queue = make(chan *job, queueDepth+len(recovered))
+	for _, j := range recovered {
+		s.queued++
+		s.queue <- j
+	}
+	return s, nil
+}
+
+// start launches workers workers that execute queued jobs until ctx
+// is cancelled. Jobs running at cancellation drain through the
+// runner: completed shards are journaled, the manifest records
+// "cancelled", and the job resumes on the next process start.
+func (s *jobStore) start(ctx context.Context, workers int) {
+	s.mu.Lock()
+	s.ctx = ctx
+	s.mu.Unlock()
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+}
+
+// wait blocks until every worker has drained.
+func (s *jobStore) wait() { s.wg.Wait() }
+
+// draining reports whether the store has begun shutting down.
+func (s *jobStore) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// submit validates, persists and enqueues a new campaign. A full
+// queue returns errQueueFull for the handler to map to 429.
+func (s *jobStore) submit(req CampaignRequest) (*job, *validationError) {
+	specs, shardTotal, verr := (&req).normalize()
+	if verr != nil {
+		return nil, verr
+	}
+	_ = specs // validated here; rebuilt from the request at run time
+
+	id, err := newJobID()
+	if err != nil {
+		return nil, &validationError{codeInternal, err.Error()}
+	}
+	j := &job{
+		id:        id,
+		req:       req,
+		dir:       filepath.Join(s.dir, id),
+		createdAt: time.Now(),
+		state:     jobQueued,
+		counts:    shardCounts{Total: shardTotal},
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.mu.Unlock()
+		return nil, &validationError{codeDraining, "server is shutting down"}
+	}
+	if s.queued >= s.queueDepth {
+		s.mu.Unlock()
+		return nil, &validationError{codeQueueFull, fmt.Sprintf("campaign queue is full (%d pending)", s.queueDepth)}
+	}
+	s.queued++
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.persist(j); err != nil {
+		s.mu.Lock()
+		s.queued--
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, &validationError{codeInternal, err.Error()}
+	}
+	s.queue <- j // capacity >= queueDepth, never blocks after the gate above
+	return j, nil
+}
+
+// persist writes the job directory and job.json atomically.
+func (s *jobStore) persist(j *job) error {
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return fmt.Errorf("serve: job dir: %w", err)
+	}
+	raw, err := json.MarshalIndent(persistedJob{
+		ID:        j.id,
+		CreatedAt: j.createdAt.UTC().Format(time.RFC3339),
+		Request:   j.req,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: job encode: %w", err)
+	}
+	if err := atomicio.WriteFileBytes(filepath.Join(j.dir, "job.json"), append(raw, '\n')); err != nil {
+		return fmt.Errorf("serve: job persist: %w", err)
+	}
+	return nil
+}
+
+// get returns the job by id.
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// tallies counts jobs by state for /metrics.
+func (s *jobStore) tallies() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := map[string]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		t[j.state]++
+		j.mu.Unlock()
+	}
+	return t
+}
+
+// worker executes queued jobs until ctx is cancelled.
+func (s *jobStore) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-s.queue:
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			s.runJob(ctx, j)
+		}
+	}
+}
+
+// runJob executes one job through the durable runner and publishes
+// its result CSVs. The job context is derived from the worker
+// context, so server drain cancels it; a wait-mode request watcher
+// can cancel it independently through job.cancelRun.
+func (s *jobStore) runJob(ctx context.Context, j *job) {
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != jobQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	j.state = jobRunning
+	j.startedAt = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	specs, _, verr := (&j.req).normalize() // idempotent: already normalized
+	if verr != nil {
+		s.finishJob(j, jobFailed, verr.msg, nil)
+		return
+	}
+	maxRetries := 2
+	if j.req.MaxRetries != nil {
+		maxRetries = *j.req.MaxRetries
+	}
+	rcfg := runner.Config{
+		Campaign: core.Config{
+			Seed:         j.req.Seed,
+			TrialsPerBit: j.req.TrialsPerBit,
+			SkipZeros:    !j.req.KeepZeros,
+			Metrics:      s.metrics,
+		},
+		Dir:          j.stateDir(),
+		Resume:       j.resume,
+		Workers:      s.campaignWorkers,
+		BitsPerShard: j.req.BitsPerShard,
+		ShardTimeout: j.req.shardTimeout(),
+		MaxRetries:   maxRetries,
+		Metrics:      s.metrics,
+		OnShardDone:  func(st runner.ShardStatus) { s.observeShard(j, st) },
+	}
+	rep, err := runner.Run(jctx, rcfg, specs)
+	if err != nil {
+		s.finishJob(j, jobFailed, err.Error(), nil)
+		return
+	}
+
+	j.mu.Lock()
+	j.counts = shardCounts{
+		Done:    rep.Completed,
+		Resumed: rep.Resumed,
+		Failed:  rep.Failed,
+		Skipped: rep.Skipped,
+		Total:   len(rep.Shards),
+	}
+	j.mu.Unlock()
+
+	if rep.Cancelled {
+		s.finishJob(j, jobCancelled, "", nil)
+		return
+	}
+	results, err := publishResults(j.dir, j.id, rep)
+	if err != nil {
+		s.finishJob(j, jobFailed, err.Error(), nil)
+		return
+	}
+	s.finishJob(j, rep.Outcome(), "", results)
+}
+
+// observeShard updates the live tally and drives the e2e crash hook.
+func (s *jobStore) observeShard(j *job, st runner.ShardStatus) {
+	j.mu.Lock()
+	switch st.State {
+	case runner.ShardDone:
+		j.counts.Done++
+	case runner.ShardFailed:
+		j.counts.Failed++
+	case runner.ShardSkipped:
+		j.counts.Skipped++
+	}
+	j.mu.Unlock()
+	if st.State == runner.ShardDone && s.crashAfter > 0 &&
+		s.shardsDone.Add(1) >= int64(s.crashAfter) {
+		// Test-only: simulate a hard server crash (no drain, no
+		// manifest update) for scripts/serve_e2e.sh.
+		os.Exit(137)
+	}
+}
+
+// finishJob moves the job to a terminal state and wakes waiters.
+func (s *jobStore) finishJob(j *job, state, errMsg string, results []resultRef) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.errMsg = errMsg
+	j.finishedAt = time.Now()
+	j.cancel = nil
+	if results != nil {
+		j.results = results
+	}
+	close(j.done)
+}
+
+// publishResults writes one CSV per completed (field, format) result
+// into the job directory, atomically, and returns the refs in spec
+// order. Partial campaigns publish only their completed specs.
+func publishResults(dir, id string, rep *runner.Report) ([]resultRef, error) {
+	var refs []resultRef
+	for i, res := range rep.Results {
+		if res == nil {
+			continue
+		}
+		path := filepath.Join(dir, csvName(res.Field, res.Codec))
+		err := atomicio.WriteFile(path, func(w io.Writer) error {
+			return core.WriteTrialsCSV(w, res.Trials)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: publish result %d: %w", i, err)
+		}
+		refs = append(refs, resultRef{Field: res.Field, Format: res.Codec, URL: resultURL(id, res.Field, res.Codec)})
+	}
+	return refs, nil
+}
+
+// csvName is the stable result filename for a (field, format) pair —
+// the same scheme cmd/positcampaign publishes under.
+func csvName(field, format string) string {
+	return fmt.Sprintf("%s_%s.csv", strings.ReplaceAll(field, "/", "_"), format)
+}
+
+// resultURL builds the results endpoint URL for one spec.
+func resultURL(id, field, format string) string {
+	return fmt.Sprintf("/v1/campaigns/%s/results?field=%s&format=%s",
+		id, url.QueryEscape(field), url.QueryEscape(format))
+}
+
+// newJobID returns a 16-hex-character random job id.
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("serve: job id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// validJobID reports whether id has the shape newJobID produces; it
+// gates path values before they touch the filesystem.
+func validJobID(id string) bool {
+	if len(id) != 16 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// recover scans the jobs directory and rebuilds the in-memory view: a
+// job whose manifest says complete and whose CSVs are all present is
+// terminal; everything else — mid-run crash ("running"), clean drain
+// ("cancelled"), partial (failed shards heal on resume), or a crash
+// between manifest completion and CSV publication — is re-enqueued
+// with Resume so the journal is replayed instead of recomputed.
+func (s *jobStore) recover() ([]*job, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: recover: %w", err)
+	}
+	var requeue []*job
+	for _, ent := range entries {
+		if !ent.IsDir() || !validJobID(ent.Name()) {
+			continue
+		}
+		j, enqueue, err := s.recoverOne(ent.Name())
+		if err != nil {
+			// A torn job directory (e.g. crash between mkdir and
+			// job.json) is skipped, not fatal: one broken job must not
+			// take down the server.
+			fmt.Fprintf(os.Stderr, "positserve: skipping job %s: %v\n", ent.Name(), err)
+			continue
+		}
+		s.jobs[j.id] = j
+		if enqueue {
+			requeue = append(requeue, j)
+		}
+	}
+	sort.Slice(requeue, func(a, b int) bool { return requeue[a].createdAt.Before(requeue[b].createdAt) })
+	return requeue, nil
+}
+
+// recoverOne rebuilds one job from disk, reporting whether it still
+// needs to run.
+func (s *jobStore) recoverOne(id string) (*job, bool, error) {
+	dir := filepath.Join(s.dir, id)
+	raw, err := os.ReadFile(filepath.Join(dir, "job.json"))
+	if err != nil {
+		return nil, false, err
+	}
+	var p persistedJob
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, false, fmt.Errorf("job.json: %w", err)
+	}
+	if p.ID != id {
+		return nil, false, fmt.Errorf("job.json id %q does not match directory %q", p.ID, id)
+	}
+	created, err := time.Parse(time.RFC3339, p.CreatedAt)
+	if err != nil {
+		return nil, false, fmt.Errorf("job.json created_at: %w", err)
+	}
+	j := &job{
+		id:        id,
+		req:       p.Request,
+		dir:       dir,
+		createdAt: created,
+		state:     jobQueued,
+		done:      make(chan struct{}),
+	}
+	specs, shardTotal, verr := (&j.req).normalize()
+	if verr != nil {
+		return nil, false, fmt.Errorf("persisted request: %s", verr.msg)
+	}
+	j.counts.Total = shardTotal
+
+	man, err := runner.ReadManifest(j.stateDir())
+	if err != nil {
+		return nil, false, err
+	}
+	if man == nil {
+		// Submitted but never started: run it fresh.
+		return j, true, nil
+	}
+	j.resume = true
+	for _, sh := range man.Shards {
+		switch sh.State {
+		case runner.ShardDone, runner.ShardResumed:
+			j.counts.Resumed++ // journaled: will load, not recompute
+		}
+	}
+	if man.State == runner.StateComplete {
+		refs, ok := existingResults(dir, j.id, specs)
+		if ok {
+			j.state = jobComplete
+			j.finishedAt = created
+			j.results = refs
+			j.counts = shardCounts{Resumed: len(man.Shards), Total: len(man.Shards)}
+			close(j.done)
+			return j, false, nil
+		}
+		// Manifest finished but CSVs missing (crash inside
+		// publication): resume replays the journal and republishes.
+	}
+	return j, true, nil
+}
+
+// existingResults checks for every spec's published CSV, returning
+// refs only when all are present.
+func existingResults(dir, id string, specs []runner.Spec) ([]resultRef, bool) {
+	var refs []resultRef
+	for _, sp := range specs {
+		if _, err := os.Stat(filepath.Join(dir, csvName(sp.Field, sp.Codec))); err != nil {
+			return nil, false
+		}
+		refs = append(refs, resultRef{Field: sp.Field, Format: sp.Codec, URL: resultURL(id, sp.Field, sp.Codec)})
+	}
+	return refs, true
+}

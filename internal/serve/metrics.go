@@ -1,0 +1,49 @@
+package serve
+
+// GET /metrics — one JSON document combining the campaign engine's
+// positres-telemetry/v1 snapshot (the same schema cmd/positcampaign
+// writes with -telemetry-out, so existing tooling parses it
+// unchanged), per-endpoint HTTP counters and latency histograms, job
+// tallies by state, and inject-cache occupancy.
+
+import (
+	"net/http"
+
+	"positres/internal/telemetry"
+)
+
+// metricsResponse is the body of GET /metrics.
+type metricsResponse struct {
+	// Campaign is the engine snapshot; its "schema" field is
+	// telemetry.SnapshotSchema.
+	Campaign telemetry.Snapshot `json:"campaign"`
+	// HTTP holds per-endpoint request/error counts and log₂ latency
+	// histograms.
+	HTTP telemetry.HTTPSnapshot `json:"http"`
+	// Jobs tallies campaigns by state (queued, running, complete,
+	// partial, cancelled, failed). Absent states are omitted.
+	Jobs map[string]int `json:"jobs"`
+	// InjectCache reports /v1/inject LRU occupancy and hit rates.
+	InjectCache cacheStats `json:"inject_cache"`
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Campaign:    s.metrics.Snapshot(),
+		HTTP:        s.httpMetrics.Snapshot(),
+		Jobs:        s.jobs.tallies(),
+		InjectCache: s.cache.stats(),
+	})
+}
+
+// healthBody is the body of GET /healthz.
+type healthBody struct {
+	Status   string `json:"status"` // always "ok" while the listener is up
+	Draining bool   `json:"draining"`
+}
+
+// handleHealthz serves GET /healthz, the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthBody{Status: "ok", Draining: s.jobs.draining()})
+}

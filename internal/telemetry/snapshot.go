@@ -17,25 +17,44 @@ const SnapshotSchema = "positres-telemetry/v1"
 // clock so every consumer sees the same arithmetic. docs/PERF.md is
 // the field reference.
 type Snapshot struct {
-	Schema    string `json:"schema"`
-	ElapsedNS int64  `json:"elapsed_ns"`
+	// Schema is always SnapshotSchema ("positres-telemetry/v1"), even
+	// from a nil Metrics.
+	Schema string `json:"schema"`
+	// ElapsedNS is nanoseconds since the metrics clock started (New or
+	// the first SetWorkers).
+	ElapsedNS int64 `json:"elapsed_ns"`
 
+	// Injections counts fault-injection trials executed.
 	Injections int64 `json:"injections"`
-	BitsDone   int64 `json:"bits_done"`
+	// BitsDone counts completed bit positions.
+	BitsDone int64 `json:"bits_done"`
 
-	ShardsDone    int64 `json:"shards_done"`
-	ShardsFailed  int64 `json:"shards_failed"`
+	// ShardsDone counts shards computed and journaled this process.
+	ShardsDone int64 `json:"shards_done"`
+	// ShardsFailed counts shards that exhausted their retry budget.
+	ShardsFailed int64 `json:"shards_failed"`
+	// ShardsResumed counts shards loaded from a prior run's journal.
 	ShardsResumed int64 `json:"shards_resumed"`
-	Retries       int64 `json:"retries"`
-	Backoffs      int64 `json:"backoffs"`
-	BackoffNS     int64 `json:"backoff_ns"`
+	// Retries counts shard attempts beyond the first.
+	Retries int64 `json:"retries"`
+	// Backoffs counts backoff waits entered.
+	Backoffs int64 `json:"backoffs"`
+	// BackoffNS is the accumulated requested backoff time, nanoseconds.
+	BackoffNS int64 `json:"backoff_ns"`
 
-	Workers           int64   `json:"workers"`
-	WorkerBusyNS      int64   `json:"worker_busy_ns"`
+	// Workers is the shard worker pool size (0 until SetWorkers).
+	Workers int64 `json:"workers"`
+	// WorkerBusyNS is the total wall time workers spent executing
+	// shards, nanoseconds.
+	WorkerBusyNS int64 `json:"worker_busy_ns"`
+	// WorkerUtilization is the derived fraction
+	// busy / (workers × elapsed), 0 when workers or elapsed is unknown.
 	WorkerUtilization float64 `json:"worker_utilization"`
 
+	// InjectionsPerSec is Injections divided by elapsed wall time.
 	InjectionsPerSec float64 `json:"injections_per_sec"`
 
+	// ShardLatency is the per-shard wall-clock histogram.
 	ShardLatency HistogramSnapshot `json:"shard_latency"`
 }
 

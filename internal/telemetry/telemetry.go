@@ -95,18 +95,25 @@ func bucketOf(ns int64) int {
 // HistogramSnapshot is the JSON-friendly view of a Histogram. Bounds
 // are inclusive-lower microsecond edges of the non-empty buckets.
 type HistogramSnapshot struct {
-	Count   int64           `json:"count"`
-	SumNS   int64           `json:"sum_ns"`
-	MinNS   int64           `json:"min_ns"`
-	MaxNS   int64           `json:"max_ns"`
-	MeanNS  int64           `json:"mean_ns"`
+	// Count is the number of observations; every other field is zero
+	// while Count is zero.
+	Count int64 `json:"count"`
+	// SumNS is the sum of all observed durations, nanoseconds.
+	SumNS int64 `json:"sum_ns"`
+	// MinNS is the smallest observation, nanoseconds.
+	MinNS int64 `json:"min_ns"`
+	// MaxNS is the largest observation, nanoseconds.
+	MaxNS int64 `json:"max_ns"`
+	// MeanNS is the integer quotient SumNS/Count, nanoseconds.
+	MeanNS int64 `json:"mean_ns"`
+	// Buckets lists only the non-empty log₂ bands, in ascending order.
 	Buckets []HistogramBand `json:"buckets,omitempty"`
 }
 
 // HistogramBand is one non-empty histogram bucket.
 type HistogramBand struct {
 	LoUS  int64 `json:"lo_us"` // inclusive lower bound, microseconds
-	Count int64 `json:"count"`
+	Count int64 `json:"count"` // observations that landed in this band
 }
 
 // Snapshot returns a consistent-enough view of the histogram: each
@@ -147,14 +154,17 @@ type Metrics struct {
 	Injections Counter
 	// BitsDone counts completed bit positions.
 	BitsDone Counter
-	// Shard lifecycle tallies, incremented by internal/runner.
-	ShardsDone    Counter
-	ShardsFailed  Counter
+	// ShardsDone counts shards computed and journaled this process.
+	ShardsDone Counter
+	// ShardsFailed counts shards that exhausted their retry budget.
+	ShardsFailed Counter
+	// ShardsResumed counts shards loaded from a prior run's journal.
 	ShardsResumed Counter
-	// Retries counts shard attempts beyond the first; Backoffs counts
-	// backoff waits entered and BackoffNS their requested total.
-	Retries   Counter
-	Backoffs  Counter
+	// Retries counts shard attempts beyond the first.
+	Retries Counter
+	// Backoffs counts backoff waits entered.
+	Backoffs Counter
+	// BackoffNS accumulates requested backoff duration, nanoseconds.
 	BackoffNS Counter
 	// WorkerBusyNS accumulates wall time workers spent executing
 	// shards (utilization = busy / (workers × elapsed)).
