@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race ci resume-e2e serve-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint race ci resume-e2e serve-e2e cluster-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -44,6 +44,12 @@ resume-e2e:
 serve-e2e:
 	./scripts/serve_e2e.sh
 
+# Distributed fan-out e2e: 1 coordinator + 3 workers, SIGKILL one
+# worker mid-campaign, require reassignment and CSVs byte-identical to
+# a single-node run (docs/SERVICE.md "Coordinator / worker mode").
+cluster-e2e:
+	./scripts/cluster_e2e.sh
+
 # Run the campaign service locally (docs/SERVICE.md has the API).
 serve:
 	$(GO) run ./cmd/positserve -data-dir serve-state
@@ -55,7 +61,7 @@ bench:
 	$(GO) run ./cmd/positbench
 
 bench-json:
-	$(GO) run ./cmd/positbench -out BENCH_PR3.json
+	$(GO) run ./cmd/positbench -out BENCH_PR5.json
 
 # Raw `go test` benchmarks (the figure-regeneration harness in
 # bench_test.go), for ad-hoc -bench=regexp runs.

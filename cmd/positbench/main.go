@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"runtime"
@@ -36,6 +37,8 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/posit"
 	"positres/internal/sdrbench"
+	"positres/internal/serve"
+	"positres/internal/spec"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
@@ -46,31 +49,31 @@ const ReportSchema = "positres-bench/v1"
 
 // BenchResult is one benchmark's measurement.
 type BenchResult struct {
-	Name        string             `json:"name"`
-	N           int                `json:"n"` // iterations actually run
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
+	Name        string             `json:"name"`              // Go benchmark name, e.g. BenchmarkEncodePosit16
+	N           int                `json:"n"`                 // iterations actually run
+	NsPerOp     float64            `json:"ns_per_op"`         // wall time per iteration
+	AllocsPerOp int64              `json:"allocs_per_op"`     // heap allocations per iteration
+	BytesPerOp  int64              `json:"bytes_per_op"`      // heap bytes per iteration
 	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
 }
 
 // Report is the full baseline document.
 type Report struct {
-	Schema     string             `json:"schema"`
-	GitSHA     string             `json:"git_sha"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	GOMAXPROCS int                `json:"gomaxprocs"`
-	NumCPU     int                `json:"num_cpu"`
-	UnixTime   int64              `json:"unix_time"`
-	Benchtime  string             `json:"benchtime"`
-	Smoke      bool               `json:"smoke"`
-	DatasetN   int                `json:"dataset_n"`
-	TrialsBit  int                `json:"trials_per_bit"`
-	Seed       uint64             `json:"seed"`
-	Benchmarks []BenchResult      `json:"benchmarks"`
-	Derived    map[string]float64 `json:"derived"`
+	Schema     string             `json:"schema"`         // always ReportSchema
+	GitSHA     string             `json:"git_sha"`        // HEAD commit, "unknown" outside a checkout
+	GoVersion  string             `json:"go_version"`     // runtime.Version() of the toolchain
+	GOOS       string             `json:"goos"`           // build target OS
+	GOARCH     string             `json:"goarch"`         // build target architecture
+	GOMAXPROCS int                `json:"gomaxprocs"`     // parallelism during the run
+	NumCPU     int                `json:"num_cpu"`        // logical CPUs on the host
+	UnixTime   int64              `json:"unix_time"`      // measurement time, Unix seconds
+	Benchtime  string             `json:"benchtime"`      // -benchtime value the run used
+	Smoke      bool               `json:"smoke"`          // true for -smoke runs (not comparable)
+	DatasetN   int                `json:"dataset_n"`      // synthetic field length per campaign bench
+	TrialsBit  int                `json:"trials_per_bit"` // campaign trials per bit position
+	Seed       uint64             `json:"seed"`           // PRNG seed of the campaign benches
+	Benchmarks []BenchResult      `json:"benchmarks"`     // one entry per benchmark, stable order
+	Derived    map[string]float64 `json:"derived"`        // cross-benchmark ratios (see deriveMetrics)
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
@@ -163,9 +166,14 @@ func run(args []string, stdout io.Writer) int {
 	if c, ok := byName["campaign_posit32"]; ok {
 		rep.Derived["campaign_injections_per_sec"] = c.Metrics["injections/s"]
 	}
+	if one, ok := byName["cluster_campaign_1worker"]; ok {
+		if three, ok3 := byName["cluster_campaign_3workers"]; ok3 && three.NsPerOp > 0 {
+			rep.Derived["cluster_scaleout_3v1"] = one.NsPerOp / three.NsPerOp
+		}
+	}
 
 	fmt.Fprint(stdout, table.Render())
-	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup", "campaign_injections_per_sec"} {
+	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup", "campaign_injections_per_sec", "cluster_scaleout_3v1"} {
 		if v, ok := rep.Derived[k]; ok {
 			fmt.Fprintf(stdout, "%s: %.2f\n", k, v)
 		}
@@ -216,6 +224,72 @@ var (
 type benchCase struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// benchClusterCampaign measures a distributed campaign end to end: a
+// coordinator and n workers (all in-process, connected over real HTTP
+// via httptest), one posit32 campaign per iteration submitted with
+// ?wait=1. Dispatch concurrency matches the fleet size, as a real
+// deployment would configure it.
+func benchClusterCampaign(nWorkers int, budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		var done []func()
+		defer func() {
+			cancel()
+			for i := len(done) - 1; i >= 0; i-- {
+				done[i]()
+			}
+		}()
+		newNode := func(cfg serve.Config) string {
+			dir, err := os.MkdirTemp("", "positbench-cluster-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.DataDir = dir
+			srv, err := serve.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Start(ctx)
+			ts := httptest.NewServer(srv.Handler())
+			done = append(done, func() {
+				srv.Wait()
+				ts.Close()
+				_ = os.RemoveAll(dir)
+			})
+			return ts.URL
+		}
+		workers := make([]string, nWorkers)
+		for i := range workers {
+			workers[i] = newNode(serve.Config{})
+		}
+		coord := newNode(serve.Config{Workers: workers, CampaignWorkers: nWorkers})
+		client := serve.NewClient(coord, nil)
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cs := &spec.CampaignSpec{
+				Fields:       []string{"Hurricane/Vf30"},
+				Formats:      []string{"posit32"},
+				N:            budget.DatasetN,
+				TrialsPerBit: budget.TrialsPerBit,
+				Seed:         uint64(i + 1),
+				BitsPerShard: 4,
+			}
+			st, err := client.SubmitCampaign(ctx, cs, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State != "complete" {
+				b.Fatalf("campaign state %q: %s", st.State, st.Error)
+			}
+		}
+		// 32 bit positions × TrialsPerBit injections per campaign.
+		total := float64(32*budget.TrialsPerBit) * float64(b.N)
+		b.ReportMetric(total/b.Elapsed().Seconds(), "injections/s")
+	}
 }
 
 // benchCases builds the suite. Order is the report order.
@@ -282,6 +356,14 @@ func benchCases(budget figures.Budget) []benchCase {
 		// here as allocs/op).
 		{"campaign_posit32", benchCampaign("posit32", budget)},
 		{"campaign_posit16", benchCampaign("posit16", budget)},
+		// Distributed fan-out: the same engine behind positserve
+		// coordinator mode, dispatching every shard over HTTP to an
+		// in-process worker fleet. 1 vs 3 workers gives the scale-out
+		// ratio (derived: cluster_scaleout_3v1); the gap between
+		// cluster_campaign_1worker and campaign_posit32 is the wire
+		// overhead of shipping trials as CSV.
+		{"cluster_campaign_1worker", benchClusterCampaign(1, budget)},
+		{"cluster_campaign_3workers", benchClusterCampaign(3, budget)},
 		// Representative figure regenerations.
 		{"fig_table1_summary", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

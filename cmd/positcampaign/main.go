@@ -42,6 +42,7 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/runner"
 	"positres/internal/sdrbench"
+	"positres/internal/spec"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
@@ -114,31 +115,39 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "positcampaign: -resume requires -out (the journal lives there)")
 		return exitUsage
 	}
-	var fields []sdrbench.Field
+	// One canonical campaign description: the same spec.CampaignSpec
+	// that POST /v1/campaigns accepts and runner.Config consumes, so
+	// the CLI and the service cannot drift in defaults or validation.
+	var fieldKeys []string
 	if *fieldFlag == "all" {
-		fields = sdrbench.Fields()
+		for _, f := range sdrbench.Fields() {
+			fieldKeys = append(fieldKeys, f.Key())
+		}
 	} else {
-		f, err := sdrbench.Lookup(*fieldFlag)
-		if err != nil {
-			return fatal(err)
-		}
-		fields = []sdrbench.Field{f}
+		fieldKeys = []string{*fieldFlag}
 	}
-
-	var codecs []numfmt.Codec
+	var formats []string
 	for _, name := range strings.Split(*fmtsFlag, ",") {
-		c, err := numfmt.Lookup(strings.TrimSpace(name))
-		if err != nil {
-			return fatal(err)
-		}
-		codecs = append(codecs, c)
+		formats = append(formats, strings.TrimSpace(name))
 	}
-
-	cfg := core.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.TrialsPerBit = *trials
-	cfg.SkipZeros = !*keepZeros
-	cfg.Metrics = metrics
+	retries := *maxRetries
+	cs := &spec.CampaignSpec{
+		Fields:       fieldKeys,
+		Formats:      formats,
+		N:            *n,
+		TrialsPerBit: *trials,
+		Seed:         *seed,
+		KeepZeros:    *keepZeros,
+		BitsPerShard: *bitsPerShard,
+		MaxRetries:   &retries,
+		ShardTimeout: shardTimeout.String(),
+	}
+	if verr := cs.Validate(); verr != nil {
+		// The stable error code (shared with the HTTP API) prefixes the
+		// message so scripts can dispatch on it.
+		fmt.Fprintf(os.Stderr, "positcampaign: %s: %s\n", verr.Code, verr.Message)
+		return exitFatal
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -159,10 +168,16 @@ func run() int {
 			return fatal(err)
 		}
 		data := sdrbench.ToFloat64(raw)
+		cfg := core.ConfigFromSpec(cs)
+		cfg.Metrics = metrics
 		cfg.Workers = *workers
-		for _, f := range fields {
-			for _, codec := range codecs {
-				res, err := core.Run(ctx, cfg, codec, f.Key(), data)
+		for _, fk := range cs.Fields {
+			for _, name := range cs.Formats {
+				codec, err := numfmt.Lookup(name)
+				if err != nil {
+					return fatal(err) // unreachable after Validate
+				}
+				res, err := core.Run(ctx, cfg, codec, fk, data)
 				if errors.Is(err, context.Canceled) {
 					fmt.Fprintln(os.Stderr, "positcampaign: interrupted")
 					return exitInterrupt
@@ -179,22 +194,13 @@ func run() int {
 	}
 
 	// Synthetic data: durable sharded campaign matrix.
-	specs := make([]runner.Spec, 0, len(fields)*len(codecs))
-	for _, f := range fields {
-		for _, codec := range codecs {
-			specs = append(specs, runner.Spec{Field: f.Key(), Codec: codec.Name(), N: *n, Seed: *seed})
-		}
-	}
 	var doneShards int32
 	rcfg := runner.Config{
-		Campaign:     cfg,
-		Dir:          *outDir,
-		Resume:       *resume,
-		Workers:      *workers,
-		BitsPerShard: *bitsPerShard,
-		ShardTimeout: *shardTimeout,
-		MaxRetries:   *maxRetries,
-		Metrics:      metrics,
+		Spec:    cs,
+		Dir:     *outDir,
+		Resume:  *resume,
+		Workers: *workers,
+		Metrics: metrics,
 		OnShardDone: func(st runner.ShardStatus) {
 			if st.State == runner.ShardFailed {
 				fmt.Fprintf(os.Stderr, "positcampaign: shard %s failed: %s\n", st.ID(), st.Error)
@@ -214,7 +220,7 @@ func run() int {
 			}
 		},
 	}
-	rep, err := runner.Run(ctx, rcfg, specs)
+	rep, err := runner.Run(ctx, rcfg)
 	if err != nil {
 		return fatal(err)
 	}

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +59,10 @@ func run() int {
 		campaignWorkers = fs.Int("campaign-workers", 0, "shard workers per campaign (0 = GOMAXPROCS)")
 		requestTimeout  = fs.Duration("request-timeout", 15*time.Second, "deadline for synchronous endpoints")
 		injectCache     = fs.Int("inject-cache", 4096, "inject LRU capacity in (format, pattern, bit) entries")
+		workersFlag     = fs.String("workers", "", "comma-separated worker base URLs to coordinate (campaign shards are dispatched to them)")
+		register        = fs.String("register", "", "coordinator base URL to self-register with as a worker")
+		advertise       = fs.String("advertise", "", "base URL the coordinator should dial this worker at (default http://<addr> once listening)")
+		heartbeat       = fs.Duration("heartbeat", 5*time.Second, "worker health-probe period in coordinator mode")
 		crashAfter      = fs.Int("debug-crash-after", 0, "TESTING: exit(137) without drain after N shard completions")
 	)
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -69,17 +74,28 @@ func run() int {
 		return exitUsage
 	}
 
+	var workers []string
+	if *workersFlag != "" {
+		for _, u := range strings.Split(*workersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, u)
+			}
+		}
+	}
+
 	metrics := telemetry.New()
 	telemetry.Publish("positserve", metrics)
 	srv, err := serve.New(serve.Config{
-		DataDir:          *dataDir,
-		QueueDepth:       *queueDepth,
-		JobWorkers:       *jobWorkers,
-		CampaignWorkers:  *campaignWorkers,
-		RequestTimeout:   *requestTimeout,
-		InjectCacheSize:  *injectCache,
-		Metrics:          metrics,
-		CrashAfterShards: *crashAfter,
+		DataDir:           *dataDir,
+		QueueDepth:        *queueDepth,
+		JobWorkers:        *jobWorkers,
+		CampaignWorkers:   *campaignWorkers,
+		RequestTimeout:    *requestTimeout,
+		InjectCacheSize:   *injectCache,
+		Metrics:           metrics,
+		Workers:           workers,
+		HeartbeatInterval: *heartbeat,
+		CrashAfterShards:  *crashAfter,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "positserve:", err)
@@ -91,13 +107,41 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "positserve:", err)
 		return exitFatal
 	}
-	// First line of output, parsed by scripts/serve_e2e.sh to learn
-	// the port when -addr ends in :0.
+	// First line of output, parsed by scripts/serve_e2e.sh and
+	// scripts/cluster_e2e.sh to learn the port when -addr ends in :0.
 	fmt.Printf("positserve: listening on http://%s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv.Start(ctx)
+
+	if *register != "" {
+		// Worker mode: announce ourselves to the coordinator. Retried a
+		// few times so start order does not matter in scripts.
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		go func() {
+			client := serve.NewClient(*register, nil)
+			for attempt := 1; attempt <= 5; attempt++ {
+				rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				err := client.RegisterWorker(rctx, self)
+				cancel()
+				if err == nil {
+					fmt.Printf("positserve: registered with coordinator %s as %s\n", *register, self)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "positserve: register attempt %d: %v\n", attempt, err)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Duration(attempt) * time.Second):
+				}
+			}
+			fmt.Fprintln(os.Stderr, "positserve: giving up registering with coordinator")
+		}()
+	}
 
 	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	// The drain goroutine consults ctx: on the first signal it stops

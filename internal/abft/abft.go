@@ -23,7 +23,7 @@ import (
 
 // Matrix is a dense row-major matrix stored in a number format.
 type Matrix struct {
-	Rows, Cols int
+	Rows, Cols int // matrix dimensions, in elements
 	data       *kernels.Array
 }
 
@@ -98,7 +98,7 @@ func MulChecked(a, b *Matrix, tol float64) (*Protected, error) {
 
 // Verdict reports a verification pass.
 type Verdict struct {
-	OK bool
+	OK bool // true when every checksum is consistent within Tol
 	// Row/Col locate the corrupted data element when both a row and a
 	// column are inconsistent (-1 when that side is consistent —
 	// a checksum-element fault shows up on one side only).

@@ -77,22 +77,22 @@ func (c PositFlipClass) String() string {
 
 // PositFlip is the analytical outcome of one bit flip in a posit.
 type PositFlip struct {
-	Cfg posit.Config
-	Pos int
+	Cfg posit.Config // posit configuration (width, es) of the pattern
+	Pos int          // flipped bit position, 0 = LSB
 
-	OldBits, NewBits uint64
-	OldVal, NewVal   float64
+	OldBits, NewBits uint64  // patterns before and after the flip
+	OldVal, NewVal   float64 // decoded values before and after
 
-	Class PositFlipClass
+	Class PositFlipClass // which posit field the flip landed in
 	// OldK/NewK: regime run lengths before and after; RegimeDelta is
 	// the change in the regime *value* r (each unit scales by
 	// useed = 2^2^ES).
 	OldK, NewK  int
-	RegimeDelta int
+	RegimeDelta int // change in regime value r (see OldK/NewK above)
 
-	AbsErr       float64
-	RelErr       float64
-	Catastrophic bool
+	AbsErr       float64 // |NewVal - OldVal|
+	RelErr       float64 // AbsErr / |OldVal|, +Inf when OldVal is 0
+	Catastrophic bool    // RelErr above the campaign threshold (or NaR)
 }
 
 // AnalyzePositFlip predicts the outcome of flipping bit pos of the
@@ -163,18 +163,18 @@ func SweepPositFlips(cfg posit.Config, bits uint64) []PositFlip {
 // IEEEFlip is the analytical outcome of one bit flip in an IEEE
 // value, pairing the measured error with the Elliott closed form.
 type IEEEFlip struct {
-	Fmt ieee754.Format
-	Pos int
+	Fmt ieee754.Format // IEEE format (binary32/binary64) of the pattern
+	Pos int            // flipped bit position, 0 = LSB
 
-	OldBits, NewBits uint64
-	OldVal, NewVal   float64
+	OldBits, NewBits uint64  // patterns before and after the flip
+	OldVal, NewVal   float64 // decoded values before and after
 
-	Field   ieee754.FieldKind
-	Outcome ieee754.FlipOutcome
+	Field   ieee754.FieldKind   // sign/exponent/fraction owning the bit
+	Outcome ieee754.FlipOutcome // qualitative outcome class of the flip
 
-	AbsErr       float64
-	RelErr       float64
-	Catastrophic bool
+	AbsErr       float64 // |NewVal - OldVal|
+	RelErr       float64 // AbsErr / |OldVal|, +Inf when OldVal is 0
+	Catastrophic bool    // RelErr above the campaign threshold (or NaN/Inf)
 	// PredictedRelErr is the Elliott et al. closed form (NaN when the
 	// model is out of scope); it matches RelErr in scope.
 	PredictedRelErr float64

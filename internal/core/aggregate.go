@@ -10,20 +10,21 @@ import (
 // BitAgg aggregates all trials at one bit position — one point on the
 // paper's per-bit error curves (Figs. 3, 10, 11, 14, 16, 18).
 type BitAgg struct {
-	Bit    int
-	Trials int
+	Bit    int // bit position, 0 = LSB
+	Trials int // trials aggregated at this position
 	// Catastrophic counts flips whose faulty value decoded to
 	// NaN/Inf/NaR (or whose original was zero).
 	Catastrophic int
 
-	// Aggregates over the non-catastrophic trials.
+	// MeanRelErr and the following aggregates summarize the
+	// non-catastrophic trials only.
 	MeanRelErr   float64
-	MedianRelErr float64
-	GeoRelErr    float64
-	MaxRelErr    float64
-	MeanAbsErr   float64
-	MedianAbsErr float64
-	MaxAbsErr    float64
+	MedianRelErr float64 // median relative error
+	GeoRelErr    float64 // geometric mean relative error (zero errors floored)
+	MaxRelErr    float64 // worst relative error
+	MeanAbsErr   float64 // mean absolute error
+	MedianAbsErr float64 // median absolute error
+	MaxAbsErr    float64 // worst absolute error
 
 	// Field attribution: fraction of trials whose flipped bit fell in
 	// each field at this position (posit fields move per value).

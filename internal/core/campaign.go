@@ -24,6 +24,7 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/qcat"
 	"positres/internal/sdrbench"
+	"positres/internal/spec"
 	"positres/internal/stats"
 	"positres/internal/telemetry"
 )
@@ -63,6 +64,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigFromSpec derives the engine configuration from the canonical
+// campaign spec — the one place the two vocabularies meet, so the
+// CLI, the HTTP service and the durable runner cannot drift apart.
+// Unset spec knobs are already defaulted by spec.Validate; the engine
+// defaults that have no spec-level knob (MaxSelectAttempts) come from
+// DefaultConfig. Workers and Metrics are runtime concerns, not
+// campaign identity; callers set them on the returned Config.
+func ConfigFromSpec(s *spec.CampaignSpec) Config {
+	cfg := DefaultConfig()
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.TrialsPerBit != 0 {
+		cfg.TrialsPerBit = s.TrialsPerBit
+	}
+	cfg.SkipZeros = !s.KeepZeros
+	return cfg
+}
+
 // Trial is one fault injection: its provenance, the bit-level change,
 // and the resulting error (paper Fig. 8's per-trial log row).
 type Trial struct {
@@ -75,25 +95,25 @@ type Trial struct {
 	OrigValue float64 // original (float32-exact) data value
 	ReprValue float64 // value after rounding into the format under test
 
-	OrigBits   uint64 // encoded pattern before the flip
-	FaultyBits uint64 // pattern after the XOR
-	FaultyVal  float64
+	OrigBits   uint64  // encoded pattern before the flip
+	FaultyBits uint64  // pattern after the XOR
+	FaultyVal  float64 // decoded value of FaultyBits
 
 	FieldName string // field owning the flipped bit: sign/regime/exponent/fraction
 	RegimeK   int    // posit regime run length of OrigBits (0 for IEEE formats)
 
-	AbsErr       float64
-	RelErr       float64
-	Catastrophic bool // faulty value decoded to NaN/Inf/NaR (or orig was 0)
+	AbsErr       float64 // |FaultyVal - ReprValue|
+	RelErr       float64 // AbsErr / |ReprValue|
+	Catastrophic bool    // faulty value decoded to NaN/Inf/NaR (or orig was 0)
 }
 
 // Result is a completed campaign over one (field, codec) pair.
 type Result struct {
-	Field    string
-	Codec    string
-	N        int // dataset length
-	Baseline stats.Summary
-	Trials   []Trial
+	Field    string        // dataset field key the campaign ran over
+	Codec    string        // format name under test
+	N        int           // dataset length
+	Baseline stats.Summary // fault-free round-trip error of the dataset
+	Trials   []Trial       // every injection, in (bit, seq) order
 	// Elapsed is the wall-clock cost of this campaign alone (not an
 	// even share of some enclosing sweep), recorded by Run.
 	Elapsed time.Duration

@@ -15,10 +15,10 @@ import (
 // cluster" (§4.1). Data is synthesized per job from (Field, N, Seed),
 // so jobs are self-contained and deterministic.
 type MatrixJob struct {
-	Field sdrbench.Field
-	Codec numfmt.Codec
-	N     int    // synthetic elements to generate
-	Seed  uint64 // data-generation seed
+	Field sdrbench.Field // dataset field to generate
+	Codec numfmt.Codec   // format under test
+	N     int            // synthetic elements to generate
+	Seed  uint64         // data-generation seed
 }
 
 // RunMatrix executes the jobs with at most `parallel` concurrent

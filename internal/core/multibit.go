@@ -14,19 +14,19 @@ import (
 // MultiTrial is one multi-bit fault injection — the paper's "multi-bit
 // flip analysis would provide valuable insights" future-work item.
 type MultiTrial struct {
-	Field     string
-	Codec     string
-	FlipCount int
-	Seq       int
+	Field     string // dataset field key
+	Codec     string // format name under test
+	FlipCount int    // simultaneous bits flipped in this trial
+	Seq       int    // trial sequence number
 
-	Index     int
-	OrigValue float64
-	Positions []int
-	FaultyVal float64
+	Index     int     // element index chosen in the data
+	OrigValue float64 // original data value
+	Positions []int   // flipped bit positions, ascending
+	FaultyVal float64 // decoded value after all flips
 
-	AbsErr       float64
-	RelErr       float64
-	Catastrophic bool
+	AbsErr       float64 // |FaultyVal - representable original|
+	RelErr       float64 // AbsErr relative to the representable original
+	Catastrophic bool    // faulty value decoded to NaN/Inf/NaR (or orig was 0)
 }
 
 // RunMultiBit injects `trials` faults of `flips` simultaneous bit
@@ -92,12 +92,12 @@ func randomDistinct(rng *sdrbench.RNG, width, k int) []int {
 // reported by the extension bench: counts and relative-error
 // statistics of the non-catastrophic population.
 type MultiBitSummary struct {
-	FlipCount    int
-	Trials       int
-	Catastrophic int
-	MeanRelErr   float64
-	MedianRelErr float64
-	MaxRelErr    float64
+	FlipCount    int     // simultaneous bits flipped per trial
+	Trials       int     // trials aggregated
+	Catastrophic int     // trials that decoded to NaN/Inf/NaR
+	MeanRelErr   float64 // mean relative error, non-catastrophic trials
+	MedianRelErr float64 // median relative error, non-catastrophic trials
+	MaxRelErr    float64 // worst relative error, non-catastrophic trials
 }
 
 // SummarizeMulti reduces one multi-bit run.

@@ -12,8 +12,8 @@ import (
 
 // SDCPoint is the corruption probability at one bit position.
 type SDCPoint struct {
-	Bit  int
-	Prob float64
+	Bit  int     // bit position, 0 = LSB
+	Prob float64 // fraction of trials exceeding the tolerance tau
 }
 
 // SDCProbability returns, per bit position, the fraction of trials

@@ -107,8 +107,8 @@ func (d *Detector) CheckWindow(data []float64, i int) bool {
 
 // BitOutcome aggregates the detection sweep at one bit position.
 type BitOutcome struct {
-	Bit    int
-	Trials int
+	Bit    int // bit position, 0 = LSB
+	Trials int // injections swept at this position
 	// Detected counts injections the detector flagged.
 	Detected int
 	// DetectRate = Detected / Trials.

@@ -80,7 +80,7 @@ func ESAblation(b Budget, key string) *textplot.LineChart {
 // Findings summarizes the quantitative shape results (DESIGN.md §4)
 // for EXPERIMENTS.md: the numbers backing each paper-vs-measured row.
 type Findings struct {
-	Field string
+	Field string // dataset field key the numbers were measured on
 
 	IEEETopExpErr  float64 // max finite mean rel err, bits 28–30, ieee32
 	PositTopErr    float64 // max finite mean rel err, bits 24–30, posit32
@@ -88,9 +88,9 @@ type Findings struct {
 
 	IEEESignRelErr     float64 // always exactly 2
 	PositExpMaxRelErr  float64 // ≤ 3 (×4 shift bound)
-	PositCatastrophes  int
-	IEEECatastrophes   int
-	FractionGrowthObey bool // fraction error grows toward MSB in both
+	PositCatastrophes  int     // NaR/zero-decode flips observed, posit32
+	IEEECatastrophes   int     // NaN/Inf flips observed, ieee32
+	FractionGrowthObey bool    // fraction error grows toward MSB in both
 }
 
 // ComputeFindings runs the posit-vs-IEEE comparison on one field and

@@ -24,9 +24,9 @@ import (
 // Budget scales an experiment: the synthetic dataset size per field
 // and the fault-injection trials per bit position.
 type Budget struct {
-	DatasetN     int
-	TrialsPerBit int
-	Seed         uint64
+	DatasetN     int    // synthetic elements generated per field
+	TrialsPerBit int    // fault-injection trials per bit position
+	Seed         uint64 // PRNG seed for data generation and sampling
 }
 
 // PaperBudget reproduces the paper's trial counts (313 per bit). The

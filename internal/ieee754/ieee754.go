@@ -40,9 +40,9 @@ func (k FieldKind) String() string {
 // Unlike posits, the field layout is static: 1 sign bit, ExpBits
 // exponent bits, FracBits fraction bits, Width = 1+ExpBits+FracBits.
 type Format struct {
-	Name     string
-	ExpBits  int
-	FracBits int
+	Name     string // format name, e.g. "ieee32"
+	ExpBits  int    // exponent field width in bits
+	FracBits int    // fraction field width in bits
 }
 
 // The four formats used by the experiments. Binary32 is the paper's

@@ -23,7 +23,7 @@ import (
 // MLP is a two-layer perceptron: tanh hidden layer, linear output,
 // argmax classification.
 type MLP struct {
-	In, Hidden, Out int
+	In, Hidden, Out int // layer widths: input, hidden, output units
 	// Row-major weights and biases (float64 master copy).
 	W1 []float64 // Hidden × In
 	B1 []float64 // Hidden
@@ -33,8 +33,8 @@ type MLP struct {
 
 // Dataset is a labelled sample set.
 type Dataset struct {
-	X [][]float64
-	Y []int
+	X [][]float64 // feature vectors
+	Y []int       // class labels, parallel to X
 }
 
 // SyntheticClusters generates a deterministic Gaussian-blob
@@ -350,8 +350,8 @@ func (s *Stored) Accuracy(ds *Dataset) float64 {
 // FlipImpact aggregates a weight-bit-flip campaign at one bit position
 // (the Alouani-style measurement).
 type FlipImpact struct {
-	Bit          int
-	Trials       int
+	Bit          int     // flipped weight-bit position, 0 = LSB
+	Trials       int     // injections aggregated at this position
 	MeanMRED     float64 // mean relative error distance of the logits
 	AccuracyDrop float64 // clean accuracy − mean faulty accuracy
 	Misclass     float64 // fraction of trials that changed ≥1 prediction

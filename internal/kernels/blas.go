@@ -80,7 +80,9 @@ func MatVec(a *Array, m, n int, x, y *Array) {
 // symmetric positive definite — the canonical iterative-solver test
 // problem (the paper's refs [12, 20] study SDC in exactly such
 // solvers).
-type Poisson1D struct{ N int }
+type Poisson1D struct {
+	N int // interior grid points (matrix dimension)
+}
 
 // Apply computes y ← A·x.
 func (p Poisson1D) Apply(x, y *Array) {

@@ -11,9 +11,9 @@ import (
 // iteration Iter, flip bit Bit of element Index of the solution
 // vector — the paper's fault model applied mid-computation.
 type Injection struct {
-	Iter  int
-	Index int
-	Bit   int
+	Iter  int // iteration before which the flip lands
+	Index int // solution-vector element to corrupt
+	Bit   int // bit position to flip, 0 = LSB
 }
 
 // SolveResult reports a solver run.
@@ -35,9 +35,9 @@ type SolveResult struct {
 // golden-angle pseudo-random component (so x* is not an eigenvector
 // and CG needs a realistic number of iterations).
 type Problem struct {
-	Op    Poisson1D
-	XStar []float64
-	B     []float64
+	Op    Poisson1D // the system operator A
+	XStar []float64 // manufactured exact solution x*
+	B     []float64 // right-hand side b = A·x*
 }
 
 // NewProblem constructs the n-point system.
@@ -188,12 +188,12 @@ func (p *Problem) CG(codec numfmt.Codec, maxIters int, tol float64, inject *Inje
 
 // ImpactRow compares the end-to-end effect of one mid-solve flip.
 type ImpactRow struct {
-	Codec     string
-	Solver    string
-	Bit       int
-	Protected bool
-	Clean     SolveResult
-	Faulty    SolveResult
+	Codec     string      // format name the solver ran in
+	Solver    string      // solver identifier ("jacobi", "cg")
+	Bit       int         // flipped bit position of the injection
+	Protected bool        // true when the solution vector was ECC-protected
+	Clean     SolveResult // fault-free reference run
+	Faulty    SolveResult // run with the injection applied
 	// ErrInflation = faulty solution error / clean solution error.
 	ErrInflation float64
 }

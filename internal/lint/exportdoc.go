@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ExportDoc flags exported fields of exported structs that carry
+// neither a doc comment nor a trailing line comment. The rule grew
+// out of the docs/SERVICE.md audit (docs/LINT.md records the
+// evidence): exported types and functions are reliably documented
+// here, but struct fields — exactly the identifiers operators read
+// off the wire as JSON — quietly go bare, especially inside grouped
+// runs where one leading comment visually covers several fields while
+// go/doc associates it with the first field only. Matching that
+// association makes the convention mechanical: every exported field
+// answers for itself.
+//
+// Exempt: unexported fields, fields of unexported structs, and
+// embedded fields (their documentation lives on the embedded type).
+// Test files are not loaded by the analyzer, so _test.go structs are
+// out of scope by construction.
+type ExportDoc struct{}
+
+// NewExportDoc returns the rule.
+func NewExportDoc() *ExportDoc { return &ExportDoc{} }
+
+// ID implements Rule.
+func (*ExportDoc) ID() string { return "exportdoc" }
+
+// Doc implements Rule.
+func (*ExportDoc) Doc() string {
+	return "flags exported struct fields without a doc or trailing comment"
+}
+
+// Check implements Rule.
+func (r *ExportDoc) Check(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, sp := range gd.Specs {
+				ts, ok := sp.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if len(field.Names) == 0 {
+						continue // embedded: documented on the embedded type
+					}
+					if documented(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						if !name.IsExported() {
+							continue
+						}
+						diags = append(diags, pass.Diag(r, name.Pos(),
+							"exported field %s.%s has no doc comment or trailing comment; document it per field (a group comment covers only the first field of its run)",
+							ts.Name.Name, name.Name))
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// documented reports whether a struct field carries its own non-empty
+// doc comment or trailing line comment. This mirrors go/doc's
+// association: a comment above a run of fields attaches to the first
+// field only, so later fields in the run must speak for themselves.
+func documented(field *ast.Field) bool {
+	if field.Doc != nil && strings.TrimSpace(field.Doc.Text()) != "" {
+		return true
+	}
+	return field.Comment != nil && strings.TrimSpace(field.Comment.Text()) != ""
+}

@@ -28,9 +28,9 @@ import (
 // root (or the load directory for ad-hoc loads) so output and
 // suppression matching are machine-independent.
 type Diagnostic struct {
-	Pos     token.Position
-	RuleID  string
-	Message string
+	Pos     token.Position // finding location, Filename module-relative
+	RuleID  string         // stable rule identifier, e.g. "floatcmp"
+	Message string         // human-readable explanation
 }
 
 // String renders the diagnostic in the canonical
@@ -53,11 +53,11 @@ type Rule interface {
 
 // Pass hands one type-checked package to a rule.
 type Pass struct {
-	Fset  *token.FileSet
-	Path  string // import path (or directory for ad-hoc loads)
-	Pkg   *types.Package
-	Info  *types.Info
-	Files []*ast.File
+	Fset  *token.FileSet // positions for every file of the package
+	Path  string         // import path (or directory for ad-hoc loads)
+	Pkg   *types.Package // type-checked package object
+	Info  *types.Info    // types, uses and defs of every expression
+	Files []*ast.File    // parsed non-test files
 
 	rel func(token.Position) token.Position
 }
@@ -91,6 +91,7 @@ func AllRules() []Rule {
 		NewErrDrop(),
 		NewAtomicWrite(),
 		NewPkgDoc(),
+		NewExportDoc(),
 	}
 }
 
@@ -114,7 +115,7 @@ var ignoreRx = regexp.MustCompile(`^//positlint:ignore\s+([\w*,-]+)(\s+\S.*)?$`)
 
 // Runner executes a rule set over packages and filters suppressions.
 type Runner struct {
-	Rules    []Rule
+	Rules    []Rule        // rules to execute, in report order
 	Suppress *Suppressions // optional file-based suppressions
 }
 

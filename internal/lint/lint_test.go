@@ -106,6 +106,42 @@ func TestErrDropFixture(t *testing.T)     { checkFixture(t, "errdrop") }
 func TestAtomicWriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
 func TestPkgDocFixture(t *testing.T)      { checkFixture(t, "pkgdoc") }
 
+// TestExportDocFixture pins the exportdoc rule against its fixture
+// with an explicit table: the fixture cannot carry the usual trailing
+// "// want" annotations because a trailing comment is precisely what
+// the rule accepts as field documentation.
+func TestExportDocFixture(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "exportdoc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Rules: []Rule{NewExportDoc()}}
+	diags := runner.Run([]*Package{pkg})
+
+	want := []struct {
+		line  int
+		field string
+	}{
+		{18, "Snapshot.Failed"},
+		{20, "Snapshot.Elapsed"},
+		{37, "Pair.Min"},
+		{37, "Pair.Max"},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("diagnostic count = %d, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Filename != "exportdoc.go" || d.Pos.Line != w.line || d.RuleID != "exportdoc" ||
+			!strings.Contains(d.Message, "exported field "+w.field+" has no doc comment") {
+			t.Errorf("diag[%d] = %s\nwant line %d for field %s", i, d, w.line, w.field)
+		}
+	}
+}
+
 // TestEndToEndAllRules lints the synthetic package that trips every
 // rule and asserts the exact diagnostic set, pinning rule IDs,
 // positions and message fragments in one place.
@@ -132,6 +168,7 @@ func TestEndToEndAllRules(t *testing.T) {
 		{35, "narcheck", "arithmetic on posit decode result c.Decode(b)"},
 		{39, "shiftrange", "signed shift count n is unguarded"},
 		{40, "floatcmp", "float equality (==)"},
+		{50, "exportdoc", "exported field Report.Done has no doc comment"},
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {

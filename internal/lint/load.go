@@ -16,13 +16,13 @@ import (
 
 // Package is one parsed and type-checked package ready for linting.
 type Package struct {
-	Path  string // import path ("positres/internal/posit") or load dir
-	Dir   string // absolute directory
-	Name  string
-	Fset  *token.FileSet
-	Files []*ast.File
-	Pkg   *types.Package
-	Info  *types.Info
+	Path  string         // import path ("positres/internal/posit") or load dir
+	Dir   string         // absolute directory
+	Name  string         // package name from the package clauses
+	Fset  *token.FileSet // positions for every parsed file
+	Files []*ast.File    // parsed non-test files, stable order
+	Pkg   *types.Package // type-checked package object
+	Info  *types.Info    // types, uses and defs of every expression
 
 	rel func(token.Position) token.Position
 }
@@ -33,9 +33,9 @@ func (p *Package) pass() *Pass {
 
 // Module is a loaded Go module: every non-test package under its root.
 type Module struct {
-	Root string // absolute module root (directory of go.mod)
-	Path string // module path from go.mod
-	Pkgs []*Package
+	Root string     // absolute module root (directory of go.mod)
+	Path string     // module path from go.mod
+	Pkgs []*Package // every linted package, sorted by import path
 }
 
 // FindModuleRoot walks upward from dir to the directory containing

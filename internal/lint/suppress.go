@@ -20,15 +20,15 @@ import (
 // suppression must explain why the finding is a false positive.
 // Blank lines and lines starting with '#' are ignored.
 type Suppressions struct {
-	Entries []SuppressEntry
+	Entries []SuppressEntry // parsed suppression lines, file order
 }
 
 // SuppressEntry is one parsed suppression line.
 type SuppressEntry struct {
-	Rule   string
+	Rule   string // rule identifier, or "*" for any rule
 	Path   string // slash-separated, relative to module root; may be a glob
 	Line   int    // 0 = whole file
-	Reason string
+	Reason string // mandatory justification after "--"
 }
 
 // ParseSuppressions parses suppression-file content. name is used in

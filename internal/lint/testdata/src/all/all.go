@@ -42,3 +42,10 @@ func trip(ctx context.Context, c codec, g guarded, xs []uint64, out chan<- float
 	}
 	return acc
 }
+
+// Report is the exported struct that trips exportdoc.
+type Report struct {
+	// Total counts all shards.
+	Total int
+	Done  int
+}

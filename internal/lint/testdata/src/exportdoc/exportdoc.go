@@ -1,0 +1,38 @@
+// Package exportdoc is the fixture for the exportdoc rule. It cannot
+// use the usual trailing "// want" annotations — a trailing comment is
+// exactly what the rule accepts as documentation — so
+// TestExportDocFixture pins the expected diagnostics in a table
+// instead.
+package exportdoc
+
+// Snapshot is exported; its exported fields must each carry a doc
+// comment or a trailing line comment.
+type Snapshot struct {
+	// Shards counts completed shards.
+	Shards int
+	Trials int // trials recorded across all shards
+
+	// A group comment documents only the first field of its run, so
+	// Done passes and the next field fires.
+	Done   int
+	Failed int
+
+	Elapsed int64
+
+	unexported int
+
+	// Embedded types document themselves.
+	inner
+}
+
+// inner is unexported, so its bare exported fields are not flagged.
+type inner struct {
+	Raw uint64
+}
+
+// Pair has two names per field; a shared trailing comment documents
+// both names, and an undocumented pair fires once per name.
+type Pair struct {
+	Lo, Hi   int // inclusive bit bounds
+	Min, Max int
+}

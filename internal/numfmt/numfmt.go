@@ -41,7 +41,7 @@ type RegimeSizer interface {
 
 // PositCodec adapts a posit configuration to the Codec interface.
 type PositCodec struct {
-	Cfg   Config
+	Cfg   Config // posit configuration (width, es) being adapted
 	label string
 }
 
@@ -83,7 +83,7 @@ func (c *PositCodec) RegimeK(b uint64) int { return posit.DecodeFields(c.Cfg, b)
 
 // IEEECodec adapts an IEEE-754 format to the Codec interface.
 type IEEECodec struct {
-	Fmt ieee754.Format
+	Fmt ieee754.Format // the IEEE format being adapted
 }
 
 // Name implements Codec.

@@ -42,10 +42,10 @@ func (k FieldKind) String() string {
 // For the special patterns zero and NaR the field values are zero and
 // the IsZero / IsNaR flags are set.
 type Fields struct {
-	Cfg Config
+	Cfg Config // the posit configuration the pattern was decoded under
 
-	IsZero bool
-	IsNaR  bool
+	IsZero bool // pattern is the all-zeros special value
+	IsNaR  bool // pattern is NaR (MSB set, rest zero)
 
 	// Sign is the raw sign bit (1 for patterns with the MSB set).
 	Sign uint
@@ -55,7 +55,7 @@ type Fields struct {
 	// eq. 1). If the run extends to the end of the posit there is no
 	// terminating bit and RegimeLen == K, otherwise RegimeLen == K+1.
 	K         int
-	RegimeLen int
+	RegimeLen int // physical regime length including any terminating bit
 	// R is the regime value: -K when R_0 == 0, K-1 when R_0 == 1.
 	R int
 
@@ -64,13 +64,13 @@ type Fields struct {
 	// of the ES-bit exponent (truncated low bits read as zero), as the
 	// standard prescribes.
 	ExpLen int
-	Exp    uint64
+	Exp    uint64 // exponent value, MSB-aligned per ExpLen above
 
 	// FracLen is the number of fraction bits present; Frac is their
 	// value as an unsigned integer (paper eq. 3 defines f = Frac /
 	// 2^FracLen).
 	FracLen int
-	Frac    uint64
+	Frac    uint64 // fraction bits as an unsigned integer (see FracLen)
 }
 
 // DecodeFields decomposes a raw posit bit pattern. It never fails:

@@ -22,7 +22,7 @@ type Metrics struct {
 	MaxValRangeRelErr float64
 	// MSE is the mean squared error; RMSE its square root.
 	MSE  float64
-	RMSE float64
+	RMSE float64 // square root of MSE
 	// NRMSE is RMSE / (max(orig) − min(orig)).
 	NRMSE float64
 	// PSNR in dB, from NRMSE: −20·log10(NRMSE).
@@ -115,8 +115,8 @@ func Compare(orig, faulty []float64) Metrics {
 // for the campaign, where exactly one element differs. orig is the
 // untouched element value, faulty its corrupted decoding.
 type PointErr struct {
-	AbsErr float64
-	RelErr float64
+	AbsErr float64 // |orig − faulty|
+	RelErr float64 // AbsErr / |orig|
 	// Catastrophic marks a faulty value of NaN/±Inf (or an original of
 	// zero corrupted to nonzero, where relative error is undefined and
 	// reported as +Inf).

@@ -9,15 +9,15 @@ import (
 	"fmt"
 	"os"
 
-	"positres/internal/core"
 	"positres/internal/runner"
+	"positres/internal/spec"
 )
 
-// ExampleRun submits a tiny durable campaign job: one (field, codec)
-// spec, journaled under a state directory so an interrupted run could
-// be resumed with Config.Resume. The output is deterministic because
-// every trial draws from a PRNG stream keyed by (seed, field, codec,
-// bit, trial).
+// ExampleRun submits a tiny durable campaign job: one canonical
+// CampaignSpec expanded to a single (field, codec) pair, journaled
+// under a state directory so an interrupted run could be resumed with
+// Config.Resume. The output is deterministic because every trial
+// draws from a PRNG stream keyed by (seed, field, codec, bit, trial).
 func ExampleRun() {
 	dir, err := os.MkdirTemp("", "runner-example")
 	if err != nil {
@@ -27,13 +27,18 @@ func ExampleRun() {
 	defer os.RemoveAll(dir)
 
 	cfg := runner.Config{
-		Campaign: core.Config{Seed: 1, TrialsPerBit: 2, SkipZeros: true},
-		Dir:      dir, // journal + manifest live here; "" would disable durability
-		Workers:  2,
+		Spec: &spec.CampaignSpec{
+			Fields:       []string{"CESM/CLOUD"},
+			Formats:      []string{"posit8"},
+			N:            256,
+			Seed:         1,
+			TrialsPerBit: 2,
+		},
+		Dir:     dir, // journal + manifest live here; "" would disable durability
+		Workers: 2,
 	}
-	specs := []runner.Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 256, Seed: 1}}
 
-	rep, err := runner.Run(context.Background(), cfg, specs)
+	rep, err := runner.Run(context.Background(), cfg)
 	if err != nil {
 		fmt.Println("run:", err)
 		return

@@ -4,15 +4,21 @@ import (
 	"context"
 	"testing"
 
-	"positres/internal/core"
+	"positres/internal/spec"
 )
 
 // tinyConfig returns a fast durable campaign config for job-API tests.
 func tinyConfig(dir string) Config {
 	return Config{
-		Campaign: core.Config{Seed: 1, TrialsPerBit: 2, SkipZeros: true},
-		Dir:      dir,
-		Workers:  2,
+		Spec: &spec.CampaignSpec{
+			Fields:       []string{"CESM/CLOUD"},
+			Formats:      []string{"posit8"},
+			N:            256,
+			Seed:         1,
+			TrialsPerBit: 2,
+		},
+		Dir:     dir,
+		Workers: 2,
 	}
 }
 
@@ -28,8 +34,8 @@ func TestReadManifest(t *testing.T) {
 		t.Fatalf("ReadManifest(empty) = %+v, want nil", m)
 	}
 
-	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 256, Seed: 1}}
-	rep, err := Run(context.Background(), tinyConfig(dir), specs)
+	cfg := tinyConfig(dir)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -47,8 +53,9 @@ func TestReadManifest(t *testing.T) {
 	if m.State != StateComplete {
 		t.Fatalf("manifest state = %q, want %q", m.State, StateComplete)
 	}
-	if len(m.Specs) != 1 || m.Specs[0] != specs[0] {
-		t.Fatalf("manifest specs = %+v, want %+v", m.Specs, specs)
+	want := Spec{Field: "CESM/CLOUD", Codec: "posit8", N: 256, Seed: 1}
+	if len(m.Specs) != 1 || m.Specs[0] != want {
+		t.Fatalf("manifest specs = %+v, want %+v", m.Specs, want)
 	}
 	if m.State != rep.Outcome() {
 		t.Fatalf("manifest state %q != report outcome %q", m.State, rep.Outcome())

@@ -1,13 +1,13 @@
 // Package runner is the durable campaign orchestration layer: it
-// shards a (field, codec) campaign matrix into bit-range work units,
-// journals every completed shard to disk with CRC-guarded atomic
-// record writes, and replays only the missing shards after a crash,
-// SIGINT or node preemption. Because internal/core draws every random
-// choice from a PRNG stream keyed by (seed, field, codec, bit, trial),
-// a resumed campaign is bit-identical to an uninterrupted one — the
-// on-disk counterpart of the checkpoint/restart protection scheme the
-// paper cites (refs [37], [23]), applied to the experiment harness
-// itself.
+// expands the canonical spec.CampaignSpec into a (field, codec)
+// matrix, shards it into bit-range work units, journals every
+// completed shard to disk with CRC-guarded atomic record writes, and
+// replays only the missing shards after a crash, SIGINT or node
+// preemption. Because internal/core draws every random choice from a
+// PRNG stream keyed by (seed, field, codec, bit, trial), a resumed
+// campaign is bit-identical to an uninterrupted one — the on-disk
+// counterpart of the checkpoint/restart protection scheme the paper
+// cites (refs [37], [23]), applied to the experiment harness itself.
 //
 // Robustness properties, each pinned by a test in runner_test.go:
 //
@@ -17,9 +17,14 @@
 //   - watchdog: a per-shard timeout abandons a stuck attempt and
 //     retries it;
 //   - bounded retry: transient shard failures back off exponentially
-//     up to MaxRetries; a shard that exhausts its budget is recorded
-//     as failed and the campaign completes the rest (graceful
+//     up to the spec's retry budget; a shard that exhausts it is
+//     recorded as failed and the campaign completes the rest (graceful
 //     degradation to a "partial" outcome instead of a crash).
+//
+// The same watchdog/retry/backoff machinery drives distributed runs:
+// positserve's coordinator supplies Config.Execute to ship each shard
+// to a remote worker, so a dead or slow worker is just a failed
+// attempt — backed off, retried, and reassigned like any local fault.
 package runner
 
 import (
@@ -33,17 +38,20 @@ import (
 	"positres/internal/core"
 	"positres/internal/numfmt"
 	"positres/internal/sdrbench"
+	"positres/internal/spec"
 	"positres/internal/stats"
 	"positres/internal/telemetry"
 )
 
-// Config parameterizes a durable campaign run.
+// Config parameterizes a durable campaign run. The campaign itself —
+// what to compute — lives entirely in Spec; the remaining fields
+// control where state lives and how execution is scheduled, retried
+// and observed.
 type Config struct {
-	// Campaign is the core engine configuration (seed, trials per bit,
-	// zero handling). Campaign.Workers bounds the worker pool *inside*
-	// one shard; it defaults to 1 because shards are the unit of
-	// parallelism here.
-	Campaign core.Config
+	// Spec is the canonical campaign description. Required; Run
+	// validates it (applying the documented defaults in place) and
+	// expands its Fields × Formats cross product via SpecsOf.
+	Spec *spec.CampaignSpec
 	// Dir is the state directory holding manifest.json and journal/.
 	// Empty disables durability (no journal, no resume) while keeping
 	// cancellation, watchdog and retry semantics.
@@ -54,16 +62,16 @@ type Config struct {
 	Resume bool
 	// Workers bounds concurrent shards; 0 means GOMAXPROCS.
 	Workers int
-	// BitsPerShard sets shard granularity; 0 means 8.
-	BitsPerShard int
-	// ShardTimeout is the per-attempt watchdog; 0 disables it.
-	ShardTimeout time.Duration
-	// MaxRetries is how many times a failed shard is retried after its
-	// first attempt. Negative means 0.
-	MaxRetries int
 	// RetryBaseDelay seeds the exponential backoff between attempts
-	// (delay = base << (attempt-1), capped at 30s); 0 means 50ms.
+	// (delay = Backoff(base, attempt), capped at 30s); 0 means 50ms.
 	RetryBaseDelay time.Duration
+	// Execute, when non-nil, replaces the local shard computation:
+	// each attempt calls it instead of core.RunRange, under the same
+	// watchdog, retry and journaling machinery. positserve's
+	// coordinator uses it to dispatch shards to remote workers; the
+	// trials it returns must be bit-identical to a local computation
+	// (the PRNG keying makes that hold for any faithful executor).
+	Execute func(ctx context.Context, sh Shard) ([]core.Trial, error)
 	// FaultHook, when non-nil, runs at the start of every shard
 	// attempt; a non-nil return fails that attempt. It exists to
 	// inject transient and permanent faults in tests.
@@ -81,28 +89,33 @@ type Config struct {
 	// engine so injection counts land in the same set. Purely
 	// observational — never part of campaign identity.
 	Metrics *telemetry.Metrics
+
+	// Derived from Spec by withDefaults; unexported so the spec stays
+	// the single source of truth.
+	campaign     core.Config
+	bitsPerShard int
+	shardTimeout time.Duration
+	maxRetries   int
 }
 
+// withDefaults derives the execution parameters from the (already
+// validated) spec and fills scheduling defaults.
 func (cfg *Config) withDefaults() Config {
 	c := *cfg
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.BitsPerShard <= 0 {
-		c.BitsPerShard = 8
-	}
-	if c.MaxRetries < 0 {
-		c.MaxRetries = 0
-	}
 	if c.RetryBaseDelay <= 0 {
 		c.RetryBaseDelay = 50 * time.Millisecond
 	}
-	if c.Campaign.Workers <= 0 {
-		c.Campaign.Workers = 1
-	}
-	if c.Campaign.Metrics == nil {
-		c.Campaign.Metrics = c.Metrics
-	}
+	c.campaign = core.ConfigFromSpec(c.Spec)
+	// Shards are the unit of parallelism; the engine pool inside one
+	// shard stays serial.
+	c.campaign.Workers = 1
+	c.campaign.Metrics = c.Metrics
+	c.bitsPerShard = c.Spec.BitsPerShard
+	c.shardTimeout = c.Spec.ShardTimeoutDuration()
+	c.maxRetries = c.Spec.MaxRetriesValue()
 	c.Metrics.SetWorkers(c.Workers)
 	return c
 }
@@ -122,9 +135,28 @@ func (cfg *Config) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// SpecsOf expands a validated campaign spec into its (field, codec)
+// matrix: the Fields × Formats cross product in declaration order,
+// with format names canonicalized through the registry. This is the
+// one expansion used by the runner, positserve and positcampaign, so
+// shard plans agree everywhere.
+func SpecsOf(cs *spec.CampaignSpec) []Spec {
+	var out []Spec
+	for _, f := range cs.Fields {
+		for _, name := range cs.Formats {
+			codec, err := numfmt.Lookup(name)
+			if err != nil {
+				continue // impossible after Validate; skip rather than panic
+			}
+			out = append(out, Spec{Field: f, Codec: codec.Name(), N: cs.N, Seed: cs.Seed})
+		}
+	}
+	return out
+}
+
 // Report is the outcome of a durable campaign run.
 type Report struct {
-	// Specs echoes the input matrix.
+	// Specs is the expanded (field, codec) matrix, SpecsOf(cfg.Spec).
 	Specs []Spec
 	// Results is index-aligned with Specs. A spec whose shards all
 	// completed (freshly or from the journal) gets an assembled
@@ -134,8 +166,14 @@ type Report struct {
 	// Shards lists every shard outcome in deterministic (spec, bit)
 	// order.
 	Shards []ShardStatus
-	// Tallies over Shards.
-	Completed, Resumed, Failed, Skipped int
+	// Completed counts shards computed and journaled this run.
+	Completed int
+	// Resumed counts shards loaded from a prior run's journal.
+	Resumed int
+	// Failed counts shards that exhausted their retry budget.
+	Failed int
+	// Skipped counts shards that never ran (campaign cancelled first).
+	Skipped int
 	// Cancelled reports that the run was interrupted; completed work
 	// is journaled and a later Resume run picks up the remainder.
 	Cancelled bool
@@ -149,16 +187,23 @@ func (r *Report) Complete() bool { return !r.Cancelled && r.Failed == 0 && r.Ski
 // Partial reports a finished campaign with failed shards.
 func (r *Report) Partial() bool { return !r.Cancelled && r.Failed > 0 }
 
-// Run executes the campaign matrix durably. Fatal setup problems
-// (unknown field or codec, incompatible journal, unwritable state
-// directory) return an error; shard-level failures and cancellation
-// are reported in the Report instead, so one bad shard cannot take
-// down the campaign.
-func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
+// Run executes the campaign described by cfg.Spec durably. Fatal
+// setup problems (invalid spec, incompatible journal, unwritable
+// state directory) return an error; shard-level failures and
+// cancellation are reported in the Report instead, so one bad shard
+// cannot take down the campaign.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	start := time.Now()
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("runner: Config.Spec is required")
+	}
+	if verr := cfg.Spec.Validate(); verr != nil {
+		return nil, fmt.Errorf("runner: invalid campaign spec: %w", verr)
+	}
 	c := cfg.withDefaults()
+	specs := SpecsOf(c.Spec)
 	if len(specs) == 0 {
-		return nil, fmt.Errorf("runner: no specs")
+		return nil, fmt.Errorf("runner: campaign spec expands to no (field, format) pairs")
 	}
 
 	// Resolve every spec against the registries up front: a typo must
@@ -186,9 +231,9 @@ func Run(ctx context.Context, cfg Config, specs []Spec) (*Report, error) {
 		}
 		seen[sp.Key()] = true
 		fields[i], codecs[i] = f, cd
-		shards = append(shards, shardsFor(sp, cd.Width(), c.BitsPerShard)...)
+		shards = append(shards, shardsFor(sp, cd.Width(), c.bitsPerShard)...)
 	}
-	params := paramsOf(c.Campaign)
+	params := paramsOf(c.campaign)
 
 	st, err := openState(&c, params, specs)
 	if err != nil {
@@ -362,10 +407,10 @@ func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, da
 	st := ShardStatus{Shard: sh, State: ShardFailed}
 	start := time.Now()
 	var lastErr error
-	for attempt := 1; attempt <= cfg.MaxRetries+1; attempt++ {
+	for attempt := 1; attempt <= cfg.maxRetries+1; attempt++ {
 		st.Attempts = attempt
 		if attempt > 1 {
-			wait := backoff(cfg.RetryBaseDelay, attempt-1)
+			wait := Backoff(cfg.RetryBaseDelay, attempt-1)
 			cfg.Metrics.ObserveBackoff(wait)
 			if err := cfg.sleep(ctx, wait); err != nil {
 				st.State = ShardSkipped
@@ -392,8 +437,11 @@ func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, da
 	return nil, st
 }
 
-// backoff computes base << (attempt-1), capped at 30s.
-func backoff(base time.Duration, attempt int) time.Duration {
+// Backoff computes the exponential retry delay base << (attempt-1),
+// capped at 30s. It is exported because positserve's coordinator
+// reuses the same schedule to cool down workers that failed a shard
+// or a heartbeat.
+func Backoff(base time.Duration, attempt int) time.Duration {
 	const limit = 30 * time.Second
 	d := base
 	for i := 1; i < attempt; i++ {
@@ -409,12 +457,15 @@ func backoff(base time.Duration, attempt int) time.Duration {
 // executes in its own goroutine; if the watchdog (or the campaign
 // context) fires first, the attempt is abandoned — its goroutine
 // drains in the background via the shared cancelled context and its
-// result is discarded through the buffered channel.
+// result is discarded through the buffered channel. When Execute is
+// set the body dispatches remotely instead of computing locally; the
+// surrounding machinery is identical, which is how shard reassignment
+// away from a dead worker falls out of the ordinary retry loop.
 func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64, attempt int) ([]core.Trial, error) {
 	actx := ctx
 	cancel := func() {}
-	if cfg.ShardTimeout > 0 {
-		actx, cancel = context.WithTimeout(ctx, cfg.ShardTimeout)
+	if cfg.shardTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, cfg.shardTimeout)
 	}
 	defer cancel()
 	type outcome struct {
@@ -429,7 +480,12 @@ func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard
 				return
 			}
 		}
-		trials, err := core.RunRange(actx, cfg.Campaign, codec, sh.Field, data, sh.BitLo, sh.BitHi)
+		if cfg.Execute != nil {
+			trials, err := cfg.Execute(actx, sh)
+			done <- outcome{trials, err}
+			return
+		}
+		trials, err := core.RunRange(actx, cfg.campaign, codec, sh.Field, data, sh.BitLo, sh.BitHi)
 		done <- outcome{trials, err}
 	}()
 	select {

@@ -13,30 +13,51 @@ import (
 
 	"positres/internal/core"
 	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+	"positres/internal/spec"
 	"positres/internal/telemetry"
 )
 
-func testSpecs() []Spec {
-	return []Spec{
-		{Field: "CESM/CLOUD", Codec: "posit16", N: 400, Seed: 7},
-		{Field: "HACC/vx", Codec: "ieee32", N: 400, Seed: 7},
+// testSpec is the canonical test campaign: a 2×2 Fields × Formats
+// cross product, small enough to run in milliseconds.
+func testSpec() *spec.CampaignSpec {
+	return &spec.CampaignSpec{
+		Fields:       []string{"CESM/CLOUD", "HACC/vx"},
+		Formats:      []string{"posit16", "ieee32"},
+		N:            400,
+		TrialsPerBit: 5,
+		Seed:         7,
+		BitsPerShard: 4,
 	}
 }
 
-// 16/4 + 32/4 shards for testSpecs at 4 bits per shard.
-const testShardTotal = 4 + 8
+// 2 fields × (16/4 + 32/4) shards for testSpec at 4 bits per shard.
+const testShardTotal = 2 * (4 + 8)
 
 func testCfg(dir string) Config {
-	camp := core.DefaultConfig()
-	camp.TrialsPerBit = 5
 	return Config{
-		Campaign:     camp,
-		Dir:          dir,
-		Workers:      2,
-		BitsPerShard: 4,
+		Spec:    testSpec(),
+		Dir:     dir,
+		Workers: 2,
 		// Tests never want real backoff waits unless they say so.
 		Sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() },
 	}
+}
+
+// singleShardCfg is a one-shard campaign (posit8, 8 bits per shard)
+// for retry/watchdog tests that need exactly one unit of work.
+func singleShardCfg() Config {
+	cfg := testCfg("")
+	cfg.Workers = 1
+	cfg.Spec = &spec.CampaignSpec{
+		Fields:       []string{"CESM/CLOUD"},
+		Formats:      []string{"posit8"},
+		N:            200,
+		TrialsPerBit: 5,
+		Seed:         7,
+		BitsPerShard: 8,
+	}
+	return cfg
 }
 
 // renderCSV gives the byte-exact CSV a campaign result would publish —
@@ -53,14 +74,37 @@ func renderCSV(t *testing.T, res *core.Result) []byte {
 	return buf.Bytes()
 }
 
+// TestSpecsOf pins the expansion order (Fields-major) and the codec
+// name canonicalization — shard plans and journal filenames depend on
+// both.
+func TestSpecsOf(t *testing.T) {
+	cs := testSpec()
+	if verr := cs.Validate(); verr != nil {
+		t.Fatal(verr)
+	}
+	specs := SpecsOf(cs)
+	want := []Spec{
+		{Field: "CESM/CLOUD", Codec: "posit16", N: 400, Seed: 7},
+		{Field: "CESM/CLOUD", Codec: "ieee32", N: 400, Seed: 7},
+		{Field: "HACC/vx", Codec: "posit16", N: 400, Seed: 7},
+		{Field: "HACC/vx", Codec: "ieee32", N: 400, Seed: 7},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("SpecsOf returned %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+}
+
 // TestResumeEquivalence is the acceptance test for the durable runner:
 // a campaign interrupted mid-flight and resumed must produce CSVs
 // byte-identical to an uninterrupted run.
 func TestResumeEquivalence(t *testing.T) {
-	specs := testSpecs()
-
 	// Reference: one uninterrupted, non-durable run.
-	ref, err := Run(context.Background(), testCfg(""), specs)
+	ref, err := Run(context.Background(), testCfg(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +123,7 @@ func TestResumeEquivalence(t *testing.T) {
 			cancel()
 		}
 	}
-	rep1, err := Run(ctx, cfg, specs)
+	rep1, err := Run(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +148,7 @@ func TestResumeEquivalence(t *testing.T) {
 	// Resume: only the missing shards run; final CSVs are identical.
 	cfg2 := testCfg(dir)
 	cfg2.Resume = true
-	rep2, err := Run(context.Background(), cfg2, specs)
+	rep2, err := Run(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +161,10 @@ func TestResumeEquivalence(t *testing.T) {
 	if rep2.Completed != testShardTotal-rep1.Completed {
 		t.Fatalf("recomputed %d shards, want %d", rep2.Completed, testShardTotal-rep1.Completed)
 	}
-	for i := range specs {
+	for i := range rep2.Specs {
 		got, want := renderCSV(t, rep2.Results[i]), renderCSV(t, ref.Results[i])
 		if !bytes.Equal(got, want) {
-			t.Fatalf("spec %s: resumed CSV differs from uninterrupted run", specs[i].Key())
+			t.Fatalf("spec %s: resumed CSV differs from uninterrupted run", rep2.Specs[i].Key())
 		}
 	}
 	m, err = loadManifest(filepath.Join(dir, "manifest.json"))
@@ -133,11 +177,10 @@ func TestResumeEquivalence(t *testing.T) {
 // is never silently overwritten.
 func TestExistingStateRefusedWithoutResume(t *testing.T) {
 	dir := t.TempDir()
-	specs := testSpecs()
-	if _, err := Run(context.Background(), testCfg(dir), specs); err != nil {
+	if _, err := Run(context.Background(), testCfg(dir)); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Run(context.Background(), testCfg(dir), specs)
+	_, err := Run(context.Background(), testCfg(dir))
 	if !errors.Is(err, ErrStateExists) {
 		t.Fatalf("err = %v, want ErrStateExists", err)
 	}
@@ -148,29 +191,29 @@ func TestExistingStateRefusedWithoutResume(t *testing.T) {
 // trial streams into one output.
 func TestResumeParamMismatch(t *testing.T) {
 	dir := t.TempDir()
-	specs := testSpecs()
-	if _, err := Run(context.Background(), testCfg(dir), specs); err != nil {
+	if _, err := Run(context.Background(), testCfg(dir)); err != nil {
 		t.Fatal(err)
 	}
 
 	cfg := testCfg(dir)
 	cfg.Resume = true
-	cfg.Campaign.TrialsPerBit = 9
-	if _, err := Run(context.Background(), cfg, specs); err == nil {
+	cfg.Spec.TrialsPerBit = 9
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("resume with different TrialsPerBit must fail")
 	}
 
 	cfg = testCfg(dir)
 	cfg.Resume = true
-	cfg.BitsPerShard = 8
-	if _, err := Run(context.Background(), cfg, specs); err == nil {
+	cfg.Spec.BitsPerShard = 8
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Fatal("resume with different shard granularity must fail")
 	}
 
 	cfg = testCfg(dir)
 	cfg.Resume = true
-	if _, err := Run(context.Background(), cfg, specs[:1]); err == nil {
-		t.Fatal("resume with a different spec list must fail")
+	cfg.Spec.Fields = cfg.Spec.Fields[:1]
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("resume with a different spec matrix must fail")
 	}
 }
 
@@ -179,12 +222,14 @@ func TestResumeParamMismatch(t *testing.T) {
 // recomputed — with output still identical to a clean run.
 func TestCorruptRecordRecomputed(t *testing.T) {
 	dir := t.TempDir()
-	specs := testSpecs()
-	ref, err := Run(context.Background(), testCfg(dir), specs)
+	ref, err := Run(context.Background(), testCfg(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	refCSVs := [][]byte{renderCSV(t, ref.Results[0]), renderCSV(t, ref.Results[1])}
+	refCSVs := make([][]byte, len(ref.Specs))
+	for i := range ref.Specs {
+		refCSVs[i] = renderCSV(t, ref.Results[i])
+	}
 
 	recs, err := filepath.Glob(filepath.Join(dir, "journal", "*.rec"))
 	if err != nil || len(recs) != testShardTotal {
@@ -201,16 +246,16 @@ func TestCorruptRecordRecomputed(t *testing.T) {
 
 	cfg := testCfg(dir)
 	cfg.Resume = true
-	rep, err := Run(context.Background(), cfg, specs)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Complete() || rep.Completed != 1 || rep.Resumed != testShardTotal-1 {
 		t.Fatalf("corrupt-record resume profile: %+v", rep)
 	}
-	for i := range specs {
+	for i := range rep.Specs {
 		if !bytes.Equal(renderCSV(t, rep.Results[i]), refCSVs[i]) {
-			t.Fatalf("spec %s: CSV differs after corrupt-record recovery", specs[i].Key())
+			t.Fatalf("spec %s: CSV differs after corrupt-record recovery", rep.Specs[i].Key())
 		}
 	}
 }
@@ -218,11 +263,9 @@ func TestCorruptRecordRecomputed(t *testing.T) {
 // TestRetryBackoff: transient shard faults are retried with
 // exponential backoff until they clear.
 func TestRetryBackoff(t *testing.T) {
-	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 200, Seed: 7}}
-	cfg := testCfg("")
-	cfg.Workers = 1
-	cfg.BitsPerShard = 8 // one shard
-	cfg.MaxRetries = 3
+	cfg := singleShardCfg()
+	three := 3
+	cfg.Spec.MaxRetries = &three
 	cfg.RetryBaseDelay = 10 * time.Millisecond
 	var delays []time.Duration
 	cfg.Sleep = func(ctx context.Context, d time.Duration) error {
@@ -237,7 +280,7 @@ func TestRetryBackoff(t *testing.T) {
 		}
 		return nil
 	}
-	rep, err := Run(context.Background(), cfg, specs)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,21 +299,70 @@ func TestRetryBackoff(t *testing.T) {
 	}
 }
 
+// TestExecuteHook: a Config.Execute campaign (the distributed path)
+// routes every shard through the hook — never through local compute —
+// under the same retry machinery, and produces trials byte-identical
+// to a local run when the executor is faithful.
+func TestExecuteHook(t *testing.T) {
+	ref, err := Run(context.Background(), testCfg(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testCfg("")
+	var calls int32
+	var failedOnce atomic.Bool
+	ccfg := core.ConfigFromSpec(cfg.Spec)
+	cfg.Execute = func(ctx context.Context, sh Shard) ([]core.Trial, error) {
+		atomic.AddInt32(&calls, 1)
+		if !failedOnce.Swap(true) {
+			return nil, errors.New("injected remote fault") // first dispatch fails; retry reassigns
+		}
+		// A faithful remote executor: recompute the shard from its
+		// identity alone, as a worker process would.
+		codec, err := numfmt.Lookup(sh.Codec)
+		if err != nil {
+			return nil, err
+		}
+		field, err := sdrbench.Lookup(sh.Field)
+		if err != nil {
+			return nil, err
+		}
+		data := sdrbench.ToFloat64(field.Generate(sh.N, sh.Seed))
+		return core.RunRange(ctx, ccfg, codec, sh.Field, data, sh.BitLo, sh.BitHi)
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("execute-hook run not complete: %+v", rep.Shards)
+	}
+	if got := atomic.LoadInt32(&calls); got != testShardTotal+1 {
+		t.Fatalf("Execute called %d times, want %d (every shard + one retry)", got, testShardTotal+1)
+	}
+	for i := range rep.Specs {
+		if !bytes.Equal(renderCSV(t, rep.Results[i]), renderCSV(t, ref.Results[i])) {
+			t.Fatalf("spec %s: Execute-hook CSV differs from local run", rep.Specs[i].Key())
+		}
+	}
+}
+
 // TestRetryExhaustedPartial: a shard that never recovers is recorded
 // as failed, the rest of the campaign completes, and the run reports
 // partial — graceful degradation instead of a crash.
 func TestRetryExhaustedPartial(t *testing.T) {
 	dir := t.TempDir()
-	specs := testSpecs()
 	cfg := testCfg(dir)
-	cfg.MaxRetries = 1
+	one := 1
+	cfg.Spec.MaxRetries = &one
 	cfg.FaultHook = func(sh Shard, attempt int) error {
-		if sh.Field == specs[0].Field && sh.BitLo == 0 {
+		if sh.Field == "CESM/CLOUD" && sh.Codec == "posit16" && sh.BitLo == 0 {
 			return errors.New("injected permanent fault")
 		}
 		return nil
 	}
-	rep, err := Run(context.Background(), cfg, specs)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +396,7 @@ func TestRetryExhaustedPartial(t *testing.T) {
 	// cleared) finishes the campaign and heals the manifest.
 	cfg2 := testCfg(dir)
 	cfg2.Resume = true
-	rep2, err := Run(context.Background(), cfg2, specs)
+	rep2, err := Run(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,16 +405,14 @@ func TestRetryExhaustedPartial(t *testing.T) {
 	}
 }
 
-// TestWatchdogTimeout: a hung shard attempt is abandoned at
-// ShardTimeout and retried; the retry succeeds while the campaign
-// context stays live.
+// TestWatchdogTimeout: a hung shard attempt is abandoned at the
+// spec's shard_timeout and retried; the retry succeeds while the
+// campaign context stays live.
 func TestWatchdogTimeout(t *testing.T) {
-	specs := []Spec{{Field: "CESM/CLOUD", Codec: "posit8", N: 200, Seed: 7}}
-	cfg := testCfg("")
-	cfg.Workers = 1
-	cfg.BitsPerShard = 8
-	cfg.MaxRetries = 1
-	cfg.ShardTimeout = 25 * time.Millisecond
+	cfg := singleShardCfg()
+	one := 1
+	cfg.Spec.MaxRetries = &one
+	cfg.Spec.ShardTimeout = "25ms"
 	release := make(chan struct{})
 	cfg.FaultHook = func(sh Shard, attempt int) error {
 		if attempt == 1 {
@@ -331,7 +421,7 @@ func TestWatchdogTimeout(t *testing.T) {
 		return nil
 	}
 	defer close(release)
-	rep, err := Run(context.Background(), cfg, specs)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +440,7 @@ func TestRunnerPreCancelled(t *testing.T) {
 	dir := t.TempDir()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rep, err := Run(ctx, testCfg(dir), testSpecs())
+	rep, err := Run(ctx, testCfg(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,36 +453,37 @@ func TestRunnerPreCancelled(t *testing.T) {
 	}
 }
 
-// TestRunSpecValidation: malformed matrices fail before touching state.
+// TestRunSpecValidation: malformed campaign specs fail before touching
+// state, carrying the stable spec error codes.
 func TestRunSpecValidation(t *testing.T) {
-	cases := map[string][]Spec{
-		"empty":           {},
-		"unknown field":   {{Field: "No/Such", Codec: "posit32", N: 10, Seed: 1}},
-		"unknown codec":   {{Field: "CESM/CLOUD", Codec: "posit33", N: 10, Seed: 1}},
-		"non-positive N":  {{Field: "CESM/CLOUD", Codec: "posit32", N: 0, Seed: 1}},
-		"duplicate specs": {{Field: "CESM/CLOUD", Codec: "posit32", N: 10, Seed: 1}, {Field: "CESM/CLOUD", Codec: "posit32", N: 20, Seed: 2}},
+	cases := map[string]*spec.CampaignSpec{
+		"nil spec":       nil,
+		"empty fields":   {Formats: []string{"posit32"}},
+		"empty formats":  {Fields: []string{"CESM/CLOUD"}},
+		"unknown field":  {Fields: []string{"No/Such"}, Formats: []string{"posit32"}},
+		"unknown codec":  {Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit33"}},
+		"negative N":     {Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit32"}, N: -1},
+		"duplicate pair": {Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit32", "posit32"}},
 	}
-	for name, specs := range cases {
-		if _, err := Run(context.Background(), testCfg(""), specs); err == nil {
+	for name, cs := range cases {
+		cfg := testCfg("")
+		cfg.Spec = cs
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("%s: Run should fail", name)
 		}
 	}
 }
 
-// TestShardIDStable: shard IDs are filesystem-safe and stable — they
-// are journal filenames, so a change silently orphans journals.
 // TestRunnerTelemetry: the metrics threaded through Config must
 // reconcile exactly with the Report — shard tallies, injection
 // counts (shards × bits × trials), latency histogram population,
 // retry/backoff counts — and a resumed run must count resumed shards
 // without re-counting the first run's retries.
 func TestRunnerTelemetry(t *testing.T) {
-	specs := testSpecs()
 	dir := t.TempDir()
 
 	cfg := testCfg(dir)
 	cfg.Metrics = telemetry.New()
-	cfg.MaxRetries = 2
 	// One transient failure on a single shard to exercise retry and
 	// backoff accounting.
 	var faulted atomic.Bool
@@ -402,7 +493,7 @@ func TestRunnerTelemetry(t *testing.T) {
 		}
 		return nil
 	}
-	rep, err := Run(context.Background(), cfg, specs)
+	rep, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,13 +504,13 @@ func TestRunnerTelemetry(t *testing.T) {
 	if s.ShardsDone != int64(testShardTotal) {
 		t.Errorf("ShardsDone = %d, want %d", s.ShardsDone, testShardTotal)
 	}
-	// testSpecs: posit16 (16 bits) + ieee32 (32 bits), 5 trials/bit.
-	wantInjections := int64((16 + 32) * 5)
-	if s.Injections != wantInjections {
-		t.Errorf("Injections = %d, want %d", s.Injections, wantInjections)
+	// testSpec: 2 fields × (posit16 + ieee32) bits, 5 trials/bit.
+	wantBits := int64(2 * (16 + 32))
+	if s.Injections != wantBits*5 {
+		t.Errorf("Injections = %d, want %d", s.Injections, wantBits*5)
 	}
-	if s.BitsDone != 16+32 {
-		t.Errorf("BitsDone = %d, want %d", s.BitsDone, 16+32)
+	if s.BitsDone != wantBits {
+		t.Errorf("BitsDone = %d, want %d", s.BitsDone, wantBits)
 	}
 	if s.ShardLatency.Count != int64(testShardTotal) {
 		t.Errorf("latency histogram count = %d, want %d", s.ShardLatency.Count, testShardTotal)
@@ -439,7 +530,7 @@ func TestRunnerTelemetry(t *testing.T) {
 	cfg2 := testCfg(dir)
 	cfg2.Resume = true
 	cfg2.Metrics = telemetry.New()
-	rep2, err := Run(context.Background(), cfg2, specs)
+	rep2, err := Run(context.Background(), cfg2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,6 +551,21 @@ func TestShardIDStable(t *testing.T) {
 	sh := Shard{Spec: Spec{Field: "CESM/CLOUD", Codec: "posit16"}, BitLo: 4, BitHi: 8}
 	if got, want := sh.ID(), "CESM_CLOUD.posit16.b04-08"; got != want {
 		t.Fatalf("ID = %q, want %q", got, want)
+	}
+}
+
+// TestBackoffSchedule pins the exported backoff curve the coordinator
+// shares: doubling from base, capped at 30s.
+func TestBackoffSchedule(t *testing.T) {
+	base := 50 * time.Millisecond
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	for i, w := range want {
+		if got := Backoff(base, i+1); got != w {
+			t.Errorf("Backoff(%v, %d) = %v, want %v", base, i+1, got, w)
+		}
+	}
+	if got := Backoff(base, 30); got != 30*time.Second {
+		t.Errorf("Backoff cap = %v, want 30s", got)
 	}
 }
 

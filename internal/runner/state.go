@@ -47,7 +47,7 @@ func openState(cfg *Config, params campaignParams, specs []Spec) (*state, error)
 		if !cfg.Resume {
 			return nil, fmt.Errorf("%w: %s", ErrStateExists, cfg.Dir)
 		}
-		if err := prev.compatible(params, cfg.BitsPerShard, specs); err != nil {
+		if err := prev.compatible(params, cfg.bitsPerShard, specs); err != nil {
 			return nil, err
 		}
 		created = prev.CreatedAt
@@ -57,7 +57,7 @@ func openState(cfg *Config, params campaignParams, specs []Spec) (*state, error)
 		State:        StateRunning,
 		CreatedAt:    created,
 		Campaign:     params,
-		BitsPerShard: cfg.BitsPerShard,
+		BitsPerShard: cfg.bitsPerShard,
 		Specs:        specs,
 	}
 	return s, nil

@@ -10,17 +10,17 @@ import (
 // field (its Table 1), used as generator targets and by EXPERIMENTS.md
 // to compare paper-vs-measured.
 type Table1Row struct {
-	Mean, Median, Max, Min, Std float64
+	Mean, Median, Max, Min, Std float64 // the paper's Table 1 columns
 }
 
 // Field describes one dataset field: identity, original dimensions,
 // the paper's Table 1 statistics, and the value generator that
 // synthesizes a stand-in sample.
 type Field struct {
-	Dataset string
-	Name    string
-	Dims    []int
-	Target  Table1Row
+	Dataset string    // SDRBench dataset name, e.g. "CESM"
+	Name    string    // field name within the dataset, e.g. "CLOUD"
+	Dims    []int     // original grid dimensions from the paper
+	Target  Table1Row // the paper's summary statistics for the field
 	gen     func(r *RNG) float64
 }
 

@@ -18,36 +18,49 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"positres/internal/spec"
 )
 
-// campaignStatus is the body of GET /v1/campaigns/{id} (and of the
-// submission response). State is one of queued, running, complete,
-// partial, cancelled, failed.
-type campaignStatus struct {
-	ID         string          `json:"id"`
-	State      string          `json:"state"`
-	CreatedAt  string          `json:"created_at"`
-	StartedAt  string          `json:"started_at,omitempty"`
-	FinishedAt string          `json:"finished_at,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Request    CampaignRequest `json:"request"`
-	Shards     shardCounts     `json:"shards"`
-	Results    []resultRef     `json:"results,omitempty"`
-	StatusURL  string          `json:"status_url"`
+// CampaignStatus is the body of GET /v1/campaigns/{id} (and of the
+// submission response). It is exported so Client can return it typed
+// and the top-level positres package can re-export it.
+type CampaignStatus struct {
+	// ID is the 16-hex-character campaign id.
+	ID string `json:"id"`
+	// State is one of queued, running, complete, partial, cancelled,
+	// failed.
+	State string `json:"state"`
+	// CreatedAt is the submission time, RFC 3339 UTC.
+	CreatedAt string `json:"created_at"`
+	// StartedAt is when the job left the queue; empty while queued.
+	StartedAt string `json:"started_at,omitempty"`
+	// FinishedAt is when the job reached a terminal state.
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Error carries the failure message of a "failed" job.
+	Error string `json:"error,omitempty"`
+	// Request is the validated campaign spec, defaults applied.
+	Request spec.CampaignSpec `json:"request"`
+	// Shards is the live shard tally.
+	Shards ShardCounts `json:"shards"`
+	// Results lists the published CSVs of a finished campaign.
+	Results []ResultRef `json:"results,omitempty"`
+	// StatusURL is the canonical polling URL for this campaign.
+	StatusURL string `json:"status_url"`
 }
 
 // statusOf snapshots a job into its API representation.
-func statusOf(j *job) campaignStatus {
+func statusOf(j *job) CampaignStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := campaignStatus{
+	st := CampaignStatus{
 		ID:        j.id,
 		State:     j.state,
 		CreatedAt: j.createdAt.UTC().Format(time.RFC3339),
 		Error:     j.errMsg,
 		Request:   j.req,
 		Shards:    j.counts,
-		Results:   append([]resultRef(nil), j.results...),
+		Results:   append([]ResultRef(nil), j.results...),
 		StatusURL: "/v1/campaigns/" + j.id,
 	}
 	if !j.startedAt.IsZero() {
@@ -65,7 +78,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, codeDraining, "server is shutting down")
 		return
 	}
-	var req CampaignRequest
+	var req spec.CampaignSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -75,7 +88,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 	j, verr := s.jobs.submit(req)
 	if verr != nil {
 		status := http.StatusBadRequest
-		switch verr.code {
+		switch verr.Code {
 		case codeQueueFull:
 			status = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", "5")
@@ -84,7 +97,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		case codeInternal:
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, verr.code, "%s", verr.msg)
+		writeError(w, status, verr.Code, "%s", verr.Message)
 		return
 	}
 
@@ -142,7 +155,7 @@ func (s *Server) handleCampaignResults(w http.ResponseWriter, r *http.Request) {
 	}
 
 	field, format := r.URL.Query().Get("field"), r.URL.Query().Get("format")
-	var ref *resultRef
+	var ref *ResultRef
 	switch {
 	case field == "" && format == "" && len(st.Results) == 1:
 		ref = &st.Results[0]

@@ -1,0 +1,198 @@
+package serve
+
+// Client is the typed HTTP client of the positserve API. It exists
+// for three callers: the coordinator's dispatcher (shard fan-out and
+// worker health probes), worker processes self-registering with their
+// coordinator, and external Go programs driving a positserve instance
+// (re-exported from the top-level positres package). Every non-2xx
+// response is returned as *APIError carrying the service's stable
+// error code.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"positres/internal/core"
+	"positres/internal/spec"
+)
+
+// APIError is a positserve error envelope surfaced client-side.
+type APIError struct {
+	// Status is the HTTP status code of the response.
+	Status int
+	// Code is the stable machine-readable error code ("queue_full",
+	// "unknown_format", ...).
+	Code string
+	// Message is the human-readable error message.
+	Message string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("positserve: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client talks to one positserve instance. The zero value is not
+// usable; construct with NewClient. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a Client for the server at baseURL (scheme +
+// host, e.g. "http://127.0.0.1:8080"). A nil httpClient uses a
+// dedicated client with a 2-minute timeout — long enough for shard
+// computation, short enough to notice a hung worker.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// BaseURL returns the server address the client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// do issues one request and decodes either the expected JSON body
+// into out (when non-nil) or the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("positserve client: encode %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("positserve client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("positserve client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("positserve client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError,
+// degrading gracefully when the body is not the JSON envelope.
+func decodeAPIError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	var env errorBody
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
+		return &APIError{Status: resp.StatusCode, Code: codeInternal,
+			Message: strings.TrimSpace(string(raw))}
+	}
+	return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+}
+
+// SubmitCampaign submits a campaign (POST /v1/campaigns) and returns
+// the queued job's status. When wait is true the call blocks until
+// the campaign reaches a terminal state (?wait=1).
+func (c *Client) SubmitCampaign(ctx context.Context, cs *spec.CampaignSpec, wait bool) (*CampaignStatus, error) {
+	path := "/v1/campaigns"
+	if wait {
+		path += "?wait=1"
+	}
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodPost, path, cs, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// CampaignStatus polls one campaign (GET /v1/campaigns/{id}).
+func (c *Client) CampaignStatus(ctx context.Context, id string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// CampaignResult streams one published result CSV
+// (GET /v1/campaigns/{id}/results) into w.
+func (c *Client) CampaignResult(ctx context.Context, id, field, format string, w io.Writer) error {
+	path := fmt.Sprintf("/v1/campaigns/%s/results?field=%s&format=%s", id, field, format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("positserve client: results: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("positserve client: results: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return fmt.Errorf("positserve client: results: %w", err)
+	}
+	return nil
+}
+
+// RegisterWorker announces a worker to a coordinator
+// (POST /v1/workers). Registration is idempotent.
+func (c *Client) RegisterWorker(ctx context.Context, workerURL string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers", workerRegistration{URL: workerURL}, nil)
+}
+
+// RunShard executes one shard on a worker (POST /v1/shards) and
+// parses the text/csv trial stream it returns. The trials are exact:
+// the CSV encoding round-trips float64 bit patterns losslessly, which
+// is what makes distributed campaigns byte-identical to local ones.
+func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: encode shard: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/shards", bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: shard: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: shard: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	trials, err := core.ReadTrialsCSV(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: shard response: %w", err)
+	}
+	return trials, nil
+}
+
+// Health probes GET /healthz, returning the server's draining flag.
+func (c *Client) Health(ctx context.Context) (draining bool, err error) {
+	var h healthBody
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return false, err
+	}
+	return h.Draining, nil
+}

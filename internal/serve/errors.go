@@ -11,21 +11,25 @@ import (
 	"math"
 	"net/http"
 	"os"
+
+	"positres/internal/spec"
 )
 
 // Stable error codes of the service. These are API surface: clients
 // dispatch on them, so existing values never change meaning (adding
-// new ones is fine). docs/SERVICE.md is the catalogue.
+// new ones is fine). docs/SERVICE.md is the catalogue. The validation
+// codes are aliases of the canonical internal/spec constants, so the
+// CLI and the HTTP API reject a malformed campaign with the same code.
 const (
-	codeBadRequest       = "bad_request"        // malformed body, missing/invalid field
-	codeUnknownFormat    = "unknown_format"     // format not in the numfmt registry
-	codeUnknownField     = "unknown_field"      // field not in the sdrbench registry
-	codeNotFound         = "not_found"          // no such route or campaign id
-	codeMethodNotAllowed = "method_not_allowed" // route exists, verb does not
-	codeQueueFull        = "queue_full"         // campaign queue at capacity (429)
-	codeNotReady         = "not_ready"          // results requested before completion
-	codeDraining         = "draining"           // server is shutting down
-	codeInternal         = "internal"           // unexpected server-side failure
+	codeBadRequest       = spec.CodeBadRequest    // malformed body, missing/invalid field
+	codeUnknownFormat    = spec.CodeUnknownFormat // format not in the numfmt registry
+	codeUnknownField     = spec.CodeUnknownField  // field not in the sdrbench registry
+	codeNotFound         = "not_found"            // no such route or campaign id
+	codeMethodNotAllowed = "method_not_allowed"   // route exists, verb does not
+	codeQueueFull        = "queue_full"           // campaign queue at capacity (429)
+	codeNotReady         = "not_ready"            // results requested before completion
+	codeDraining         = "draining"             // server is shutting down
+	codeInternal         = "internal"             // unexpected server-side failure
 )
 
 // apiError is the body of every non-2xx response:

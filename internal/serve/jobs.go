@@ -28,9 +28,8 @@ import (
 
 	"positres/internal/atomicio"
 	"positres/internal/core"
-	"positres/internal/numfmt"
 	"positres/internal/runner"
-	"positres/internal/sdrbench"
+	"positres/internal/spec"
 	"positres/internal/telemetry"
 )
 
@@ -47,138 +46,35 @@ const (
 	jobFailed    = "failed"
 )
 
-// CampaignRequest is the body of POST /v1/campaigns. Zero fields take
-// the documented defaults at submission and the normalized request is
-// echoed back (and persisted), so a job's identity is always explicit
-// on disk.
-type CampaignRequest struct {
-	// Fields are sdrbench field keys, e.g. "CESM/CLOUD". Required.
-	Fields []string `json:"fields"`
-	// Formats are numfmt codec names, e.g. "posit16". Required.
-	Formats []string `json:"formats"`
-	// N is the synthetic element count per field; 0 means 100000.
-	N int `json:"n"`
-	// TrialsPerBit is the injections per bit position; 0 means the
-	// paper's 313.
-	TrialsPerBit int `json:"trials_per_bit"`
-	// Seed drives every random choice; campaigns with equal seeds and
-	// inputs are bit-identical. Defaults to 1.
-	Seed uint64 `json:"seed"`
-	// KeepZeros allows exactly-zero elements to be selected (their
-	// relative error is recorded as catastrophic).
-	KeepZeros bool `json:"keep_zeros"`
-	// BitsPerShard is the journaling granularity; 0 means 8.
-	BitsPerShard int `json:"bits_per_shard"`
-	// MaxRetries bounds per-shard retries after the first attempt;
-	// nil means 2.
-	MaxRetries *int `json:"max_retries,omitempty"`
-	// ShardTimeout is the per-attempt watchdog as a Go duration
-	// string; "" means "10m", "0s" disables it.
-	ShardTimeout string `json:"shard_timeout"`
-}
+// The body of POST /v1/campaigns is the canonical spec.CampaignSpec —
+// the same type cmd/positcampaign builds from flags and runner.Config
+// consumes directly. spec.Validate applies the documented defaults in
+// place, and the normalized spec is echoed back (and persisted), so a
+// job's identity is always explicit on disk.
 
-// validationError carries the stable API error code for a rejected
-// campaign request.
-type validationError struct {
-	code string
-	msg  string
-}
-
-func (e *validationError) Error() string { return e.msg }
-
-// normalize validates the request against the field and codec
-// registries, applies defaults in place, and returns the expanded
-// spec list plus the total shard count.
-func (r *CampaignRequest) normalize() ([]runner.Spec, int, *validationError) {
-	if len(r.Fields) == 0 {
-		return nil, 0, &validationError{codeBadRequest, `"fields" must name at least one dataset field`}
-	}
-	if len(r.Formats) == 0 {
-		return nil, 0, &validationError{codeBadRequest, `"formats" must name at least one number format`}
-	}
-	if r.N == 0 {
-		r.N = 100_000
-	}
-	if r.N < 0 {
-		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"n" must be positive, got %d`, r.N)}
-	}
-	if r.TrialsPerBit == 0 {
-		r.TrialsPerBit = 313
-	}
-	if r.TrialsPerBit < 0 {
-		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"trials_per_bit" must be positive, got %d`, r.TrialsPerBit)}
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	if r.BitsPerShard == 0 {
-		r.BitsPerShard = 8
-	}
-	if r.BitsPerShard < 0 {
-		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"bits_per_shard" must be positive, got %d`, r.BitsPerShard)}
-	}
-	if r.MaxRetries == nil {
-		two := 2
-		r.MaxRetries = &two
-	}
-	if *r.MaxRetries < 0 {
-		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"max_retries" must be >= 0, got %d`, *r.MaxRetries)}
-	}
-	if r.ShardTimeout == "" {
-		r.ShardTimeout = "10m"
-	}
-	if d, err := time.ParseDuration(r.ShardTimeout); err != nil || d < 0 {
-		return nil, 0, &validationError{codeBadRequest, fmt.Sprintf(`"shard_timeout" %q is not a valid non-negative Go duration`, r.ShardTimeout)}
-	}
-
-	var specs []runner.Spec
-	shards := 0
-	seen := map[string]bool{}
-	for _, f := range r.Fields {
-		if _, err := sdrbench.Lookup(f); err != nil {
-			return nil, 0, &validationError{codeUnknownField, err.Error()}
-		}
-		for _, name := range r.Formats {
-			codec, err := numfmt.Lookup(name)
-			if err != nil {
-				return nil, 0, &validationError{codeUnknownFormat, err.Error()}
-			}
-			sp := runner.Spec{Field: f, Codec: codec.Name(), N: r.N, Seed: r.Seed}
-			if seen[sp.Key()] {
-				return nil, 0, &validationError{codeBadRequest, fmt.Sprintf("duplicate (field, format) pair %s", sp.Key())}
-			}
-			seen[sp.Key()] = true
-			specs = append(specs, sp)
-			shards += runner.ShardsFor(codec.Width(), r.BitsPerShard)
-		}
-	}
-	return specs, shards, nil
-}
-
-// shardTimeout returns the parsed watchdog duration; normalize has
-// already validated it.
-func (r *CampaignRequest) shardTimeout() time.Duration {
-	d, err := time.ParseDuration(r.ShardTimeout)
-	if err != nil {
-		return 10 * time.Minute
-	}
-	return d
-}
-
-// shardCounts is the live shard tally of a job.
-type shardCounts struct {
-	Done    int `json:"done"`
+// ShardCounts is the live shard tally of a job, as served in
+// CampaignStatus.
+type ShardCounts struct {
+	// Done counts shards computed and journaled this run.
+	Done int `json:"done"`
+	// Resumed counts shards loaded from a prior run's journal.
 	Resumed int `json:"resumed"`
-	Failed  int `json:"failed"`
+	// Failed counts shards that exhausted their retry budget.
+	Failed int `json:"failed"`
+	// Skipped counts shards that never ran (campaign cancelled first).
 	Skipped int `json:"skipped"`
-	Total   int `json:"total"`
+	// Total is the expected shard count of the whole campaign.
+	Total int `json:"total"`
 }
 
-// resultRef points a client at one (field, format) result CSV.
-type resultRef struct {
-	Field  string `json:"field"`
+// ResultRef points a client at one (field, format) result CSV.
+type ResultRef struct {
+	// Field is the sdrbench field key, e.g. "CESM/CLOUD".
+	Field string `json:"field"`
+	// Format is the canonical numfmt codec name, e.g. "posit16".
 	Format string `json:"format"`
-	URL    string `json:"url"`
+	// URL is the results endpoint path serving this CSV.
+	URL string `json:"url"`
 }
 
 // job is one submitted campaign. All mutable fields are guarded by
@@ -186,7 +82,7 @@ type resultRef struct {
 // state in this process.
 type job struct {
 	id        string
-	req       CampaignRequest
+	req       spec.CampaignSpec
 	dir       string // DataDir/jobs/<id>
 	createdAt time.Time
 	resume    bool // a prior run's state exists on disk
@@ -196,8 +92,8 @@ type job struct {
 	errMsg     string
 	startedAt  time.Time
 	finishedAt time.Time
-	counts     shardCounts
-	results    []resultRef
+	counts     ShardCounts
+	results    []ResultRef
 	cancel     context.CancelFunc // non-nil only while running
 	done       chan struct{}
 }
@@ -224,11 +120,16 @@ func (j *job) cancelRun() {
 }
 
 // persistedJob is the schema of job.json — everything needed to
-// reconstruct the job after a restart.
+// reconstruct the job after a restart. The "request" key predates the
+// CampaignSpec unification; it is kept so job.json files written by
+// older servers keep decoding.
 type persistedJob struct {
-	ID        string          `json:"id"`
-	CreatedAt string          `json:"created_at"`
-	Request   CampaignRequest `json:"request"`
+	// ID is the job id, matching the directory name.
+	ID string `json:"id"`
+	// CreatedAt is the submission time, RFC 3339 UTC.
+	CreatedAt string `json:"created_at"`
+	// Request is the validated campaign spec the job runs.
+	Request spec.CampaignSpec `json:"request"`
 }
 
 // jobStore owns every job: the on-disk layout, the bounded queue, and
@@ -240,6 +141,12 @@ type jobStore struct {
 	campaignWorkers int
 	metrics         *telemetry.Metrics
 	crashAfter      int // test hook: exit(137) after N shards (0 = off)
+
+	// executeFor, when non-nil, supplies the remote shard executor for
+	// a campaign (the coordinator's dispatcher). Returning nil keeps
+	// that campaign local. Set once before start; nil means every
+	// campaign computes locally.
+	executeFor func(cs *spec.CampaignSpec) func(context.Context, runner.Shard) ([]core.Trial, error)
 
 	shardsDone atomic.Int64
 
@@ -303,17 +210,15 @@ func (s *jobStore) draining() bool {
 }
 
 // submit validates, persists and enqueues a new campaign. A full
-// queue returns errQueueFull for the handler to map to 429.
-func (s *jobStore) submit(req CampaignRequest) (*job, *validationError) {
-	specs, shardTotal, verr := (&req).normalize()
-	if verr != nil {
+// queue returns a queue_full error for the handler to map to 429.
+func (s *jobStore) submit(req spec.CampaignSpec) (*job, *spec.Error) {
+	if verr := (&req).Validate(); verr != nil {
 		return nil, verr
 	}
-	_ = specs // validated here; rebuilt from the request at run time
 
 	id, err := newJobID()
 	if err != nil {
-		return nil, &validationError{codeInternal, err.Error()}
+		return nil, &spec.Error{Code: codeInternal, Message: err.Error()}
 	}
 	j := &job{
 		id:        id,
@@ -321,18 +226,18 @@ func (s *jobStore) submit(req CampaignRequest) (*job, *validationError) {
 		dir:       filepath.Join(s.dir, id),
 		createdAt: time.Now(),
 		state:     jobQueued,
-		counts:    shardCounts{Total: shardTotal},
+		counts:    ShardCounts{Total: req.TotalShards()},
 		done:      make(chan struct{}),
 	}
 
 	s.mu.Lock()
 	if s.ctx != nil && s.ctx.Err() != nil {
 		s.mu.Unlock()
-		return nil, &validationError{codeDraining, "server is shutting down"}
+		return nil, &spec.Error{Code: codeDraining, Message: "server is shutting down"}
 	}
 	if s.queued >= s.queueDepth {
 		s.mu.Unlock()
-		return nil, &validationError{codeQueueFull, fmt.Sprintf("campaign queue is full (%d pending)", s.queueDepth)}
+		return nil, &spec.Error{Code: codeQueueFull, Message: fmt.Sprintf("campaign queue is full (%d pending)", s.queueDepth)}
 	}
 	s.queued++
 	s.jobs[id] = j
@@ -343,7 +248,7 @@ func (s *jobStore) submit(req CampaignRequest) (*job, *validationError) {
 		s.queued--
 		delete(s.jobs, id)
 		s.mu.Unlock()
-		return nil, &validationError{codeInternal, err.Error()}
+		return nil, &spec.Error{Code: codeInternal, Message: err.Error()}
 	}
 	s.queue <- j // capacity >= queueDepth, never blocks after the gate above
 	return j, nil
@@ -423,39 +328,27 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 
-	specs, _, verr := (&j.req).normalize() // idempotent: already normalized
-	if verr != nil {
-		s.finishJob(j, jobFailed, verr.msg, nil)
-		return
-	}
-	maxRetries := 2
-	if j.req.MaxRetries != nil {
-		maxRetries = *j.req.MaxRetries
-	}
 	rcfg := runner.Config{
-		Campaign: core.Config{
-			Seed:         j.req.Seed,
-			TrialsPerBit: j.req.TrialsPerBit,
-			SkipZeros:    !j.req.KeepZeros,
-			Metrics:      s.metrics,
-		},
-		Dir:          j.stateDir(),
-		Resume:       j.resume,
-		Workers:      s.campaignWorkers,
-		BitsPerShard: j.req.BitsPerShard,
-		ShardTimeout: j.req.shardTimeout(),
-		MaxRetries:   maxRetries,
-		Metrics:      s.metrics,
-		OnShardDone:  func(st runner.ShardStatus) { s.observeShard(j, st) },
+		Spec:        &j.req,
+		Dir:         j.stateDir(),
+		Resume:      j.resume,
+		Workers:     s.campaignWorkers,
+		Metrics:     s.metrics,
+		OnShardDone: func(st runner.ShardStatus) { s.observeShard(j, st) },
 	}
-	rep, err := runner.Run(jctx, rcfg, specs)
+	if s.executeFor != nil {
+		// Coordinator mode: dispatch shards to remote workers. A nil
+		// executor (no workers registered) keeps the campaign local.
+		rcfg.Execute = s.executeFor(&j.req)
+	}
+	rep, err := runner.Run(jctx, rcfg)
 	if err != nil {
 		s.finishJob(j, jobFailed, err.Error(), nil)
 		return
 	}
 
 	j.mu.Lock()
-	j.counts = shardCounts{
+	j.counts = ShardCounts{
 		Done:    rep.Completed,
 		Resumed: rep.Resumed,
 		Failed:  rep.Failed,
@@ -497,7 +390,7 @@ func (s *jobStore) observeShard(j *job, st runner.ShardStatus) {
 }
 
 // finishJob moves the job to a terminal state and wakes waiters.
-func (s *jobStore) finishJob(j *job, state, errMsg string, results []resultRef) {
+func (s *jobStore) finishJob(j *job, state, errMsg string, results []ResultRef) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
@@ -513,8 +406,8 @@ func (s *jobStore) finishJob(j *job, state, errMsg string, results []resultRef) 
 // publishResults writes one CSV per completed (field, format) result
 // into the job directory, atomically, and returns the refs in spec
 // order. Partial campaigns publish only their completed specs.
-func publishResults(dir, id string, rep *runner.Report) ([]resultRef, error) {
-	var refs []resultRef
+func publishResults(dir, id string, rep *runner.Report) ([]ResultRef, error) {
+	var refs []ResultRef
 	for i, res := range rep.Results {
 		if res == nil {
 			continue
@@ -526,7 +419,7 @@ func publishResults(dir, id string, rep *runner.Report) ([]resultRef, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: publish result %d: %w", i, err)
 		}
-		refs = append(refs, resultRef{Field: res.Field, Format: res.Codec, URL: resultURL(id, res.Field, res.Codec)})
+		refs = append(refs, ResultRef{Field: res.Field, Format: res.Codec, URL: resultURL(id, res.Field, res.Codec)})
 	}
 	return refs, nil
 }
@@ -626,11 +519,10 @@ func (s *jobStore) recoverOne(id string) (*job, bool, error) {
 		state:     jobQueued,
 		done:      make(chan struct{}),
 	}
-	specs, shardTotal, verr := (&j.req).normalize()
-	if verr != nil {
-		return nil, false, fmt.Errorf("persisted request: %s", verr.msg)
+	if verr := (&j.req).Validate(); verr != nil {
+		return nil, false, fmt.Errorf("persisted request: %s", verr.Message)
 	}
-	j.counts.Total = shardTotal
+	j.counts.Total = j.req.TotalShards()
 
 	man, err := runner.ReadManifest(j.stateDir())
 	if err != nil {
@@ -648,12 +540,12 @@ func (s *jobStore) recoverOne(id string) (*job, bool, error) {
 		}
 	}
 	if man.State == runner.StateComplete {
-		refs, ok := existingResults(dir, j.id, specs)
+		refs, ok := existingResults(dir, j.id, runner.SpecsOf(&j.req))
 		if ok {
 			j.state = jobComplete
 			j.finishedAt = created
 			j.results = refs
-			j.counts = shardCounts{Resumed: len(man.Shards), Total: len(man.Shards)}
+			j.counts = ShardCounts{Resumed: len(man.Shards), Total: len(man.Shards)}
 			close(j.done)
 			return j, false, nil
 		}
@@ -665,13 +557,13 @@ func (s *jobStore) recoverOne(id string) (*job, bool, error) {
 
 // existingResults checks for every spec's published CSV, returning
 // refs only when all are present.
-func existingResults(dir, id string, specs []runner.Spec) ([]resultRef, bool) {
-	var refs []resultRef
+func existingResults(dir, id string, specs []runner.Spec) ([]ResultRef, bool) {
+	var refs []ResultRef
 	for _, sp := range specs {
 		if _, err := os.Stat(filepath.Join(dir, csvName(sp.Field, sp.Codec))); err != nil {
 			return nil, false
 		}
-		refs = append(refs, resultRef{Field: sp.Field, Format: sp.Codec, URL: resultURL(id, sp.Field, sp.Codec)})
+		refs = append(refs, ResultRef{Field: sp.Field, Format: sp.Codec, URL: resultURL(id, sp.Field, sp.Codec)})
 	}
 	return refs, true
 }

@@ -25,16 +25,25 @@ type metricsResponse struct {
 	Jobs map[string]int `json:"jobs"`
 	// InjectCache reports /v1/inject LRU occupancy and hit rates.
 	InjectCache cacheStats `json:"inject_cache"`
+	// Cluster holds per-worker dispatch tallies, heartbeat latency
+	// histograms and the reassignment count. Omitted entirely in
+	// single-node operation (no workers ever registered).
+	Cluster *telemetry.ClusterSnapshot `json:"cluster,omitempty"`
 }
 
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{
+	resp := metricsResponse{
 		Campaign:    s.metrics.Snapshot(),
 		HTTP:        s.httpMetrics.Snapshot(),
 		Jobs:        s.jobs.tallies(),
 		InjectCache: s.cache.stats(),
-	})
+	}
+	if s.cluster.size() > 0 {
+		snap := s.clusterMetrics.Snapshot()
+		resp.Cluster = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // healthBody is the body of GET /healthz.

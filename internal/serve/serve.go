@@ -65,6 +65,20 @@ type Config struct {
 	// server runs and is re-exported on /metrics. nil means a fresh
 	// telemetry.New().
 	Metrics *telemetry.Metrics
+	// Workers is the static list of worker base URLs this instance
+	// coordinates; more can self-register at runtime via
+	// POST /v1/workers. While at least one worker is registered, every
+	// campaign's shards are dispatched over HTTP instead of computed
+	// locally. Empty (and no registrations) means single-node
+	// operation — the pre-cluster behavior, unchanged.
+	Workers []string
+	// HeartbeatInterval is the worker health-probe period (and per-
+	// probe timeout). 0 means 5s.
+	HeartbeatInterval time.Duration
+	// ClusterRetryBase seeds the per-worker cooldown after a failed
+	// dispatch or probe (runner.Backoff schedule, capped at 30s).
+	// 0 means 500ms.
+	ClusterRetryBase time.Duration
 	// CrashAfterShards is a test-only hook: when positive, the
 	// process hard-exits with status 137 (no drain, no manifest
 	// update) after that many shard completions, simulating a crash
@@ -97,12 +111,14 @@ func (cfg Config) withDefaults() Config {
 // shutting the listener down call Wait to join the drained workers.
 // All methods are safe for concurrent use.
 type Server struct {
-	cfg         Config
-	metrics     *telemetry.Metrics
-	httpMetrics *telemetry.HTTPMetrics
-	cache       *injectCache
-	jobs        *jobStore
-	handler     http.Handler
+	cfg            Config
+	metrics        *telemetry.Metrics
+	httpMetrics    *telemetry.HTTPMetrics
+	clusterMetrics *telemetry.ClusterMetrics
+	cache          *injectCache
+	jobs           *jobStore
+	cluster        *dispatcher
+	handler        http.Handler
 }
 
 // New builds a Server rooted at cfg.DataDir and recovers every
@@ -119,21 +135,28 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:         cfg,
-		metrics:     cfg.Metrics,
-		httpMetrics: telemetry.NewHTTP(),
-		cache:       newInjectCache(cfg.InjectCacheSize),
-		jobs:        jobs,
+		cfg:            cfg,
+		metrics:        cfg.Metrics,
+		httpMetrics:    telemetry.NewHTTP(),
+		clusterMetrics: telemetry.NewCluster(),
+		cache:          newInjectCache(cfg.InjectCacheSize),
+		jobs:           jobs,
 	}
+	s.cluster = newDispatcher(cfg.Workers, cfg.HeartbeatInterval, cfg.ClusterRetryBase, s.clusterMetrics)
+	jobs.executeFor = s.cluster.executeFor
 	s.handler = s.routes()
 	return s, nil
 }
 
-// Start launches the job worker pool. Cancelling ctx begins the
-// graceful drain: no new jobs are dequeued, running campaigns are
-// cancelled through the runner (completed shards journaled, manifest
-// marked cancelled), and Wait returns once the pool has drained.
-func (s *Server) Start(ctx context.Context) { s.jobs.start(ctx, s.cfg.JobWorkers) }
+// Start launches the job worker pool and, in coordinator mode, the
+// worker heartbeat loop. Cancelling ctx begins the graceful drain: no
+// new jobs are dequeued, running campaigns are cancelled through the
+// runner (completed shards journaled, manifest marked cancelled), and
+// Wait returns once the pool has drained.
+func (s *Server) Start(ctx context.Context) {
+	s.jobs.start(ctx, s.cfg.JobWorkers)
+	s.cluster.start(ctx)
+}
 
 // Wait blocks until every job worker has drained. Call it after
 // cancelling the Start context and shutting down the HTTP listener.
@@ -143,29 +166,45 @@ func (s *Server) Wait() { s.jobs.wait() }
 // http.Server (or httptest.Server).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// routes builds the method-aware mux. Every registered route gets a
+// routes builds the method-aware mux. Every registered path gets a
 // method-less twin so verb mismatches produce the service's JSON 405
-// (with Allow) instead of net/http's plaintext one, and the root
-// catch-all produces a JSON 404.
+// (with Allow listing every supported verb — paths like /v1/workers
+// serve more than one), and the root catch-all produces a JSON 404.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
+	// Twins are registered after all verb routes so a path serving
+	// multiple verbs gets exactly one twin advertising all of them.
+	type pathInfo struct {
+		verbs []string
+		label string // metrics label: the first verb pattern on the path
+	}
+	paths := map[string]*pathInfo{}
 	reg := func(pattern string, h http.HandlerFunc, timed bool) {
 		if timed {
 			h = s.withTimeout(h)
 		}
 		mux.Handle(pattern, s.withMetrics(pattern, h))
-		// The method-less twin catches every other verb on the path.
 		verb, path, ok := strings.Cut(pattern, " ")
-		if ok {
-			mux.Handle(path, s.withMetrics(pattern, methodNotAllowed(verb)))
+		if !ok {
+			return
 		}
+		if paths[path] == nil {
+			paths[path] = &pathInfo{label: pattern}
+		}
+		paths[path].verbs = append(paths[path].verbs, verb)
 	}
 	reg("POST /v1/inject", s.handleInject, true)
 	reg("POST /v1/campaigns", s.handleSubmitCampaign, false) // ?wait=1 is open-ended
 	reg("GET /v1/campaigns/{id}", s.handleCampaignStatus, true)
 	reg("GET /v1/campaigns/{id}/results", s.handleCampaignResults, true)
+	reg("POST /v1/shards", s.handleRunShard, false) // shard computation is bounded by the campaign watchdog, not the request timeout
+	reg("POST /v1/workers", s.handleRegisterWorker, true)
+	reg("GET /v1/workers", s.handleListWorkers, true)
 	reg("GET /metrics", s.handleMetrics, true)
 	reg("GET /healthz", s.handleHealthz, true)
+	for path, info := range paths {
+		mux.Handle(path, s.withMetrics(info.label, methodNotAllowed(strings.Join(info.verbs, ", "))))
+	}
 	mux.Handle("/", s.withMetrics("(unrouted)", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeNotFound, "no such resource %s", r.URL.Path)
 	}))
@@ -173,7 +212,7 @@ func (s *Server) routes() http.Handler {
 }
 
 // methodNotAllowed returns a handler producing the JSON 405 envelope
-// with the allowed verb advertised.
+// with the allowed verbs advertised.
 func methodNotAllowed(allow string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Allow", allow)

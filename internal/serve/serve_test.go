@@ -13,6 +13,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"positres/internal/spec"
 )
 
 // tinyCampaign is a sub-second campaign body used across tests.
@@ -209,7 +211,7 @@ func TestErrorsAreJSON(t *testing.T) {
 func TestCampaignLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
-	var st campaignStatus
+	var st CampaignStatus
 	resp := postJSON(t, ts.URL+"/v1/campaigns?wait=1", tinyCampaign, &st)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("submit status = %d, want 200 (%+v)", resp.StatusCode, st)
@@ -228,7 +230,7 @@ func TestCampaignLifecycle(t *testing.T) {
 	}
 
 	// Status resource agrees.
-	var st2 campaignStatus
+	var st2 CampaignStatus
 	getJSON(t, ts.URL+st.StatusURL, &st2)
 	if st2.State != "complete" || st2.ID != st.ID {
 		t.Errorf("status = %+v", st2)
@@ -263,7 +265,7 @@ func TestCampaignLifecycle(t *testing.T) {
 
 func TestResultsNotReady(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
-	j, verr := srv.jobs.submit(CampaignRequest{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit8"}, N: 256, TrialsPerBit: 2})
+	j, verr := srv.jobs.submit(spec.CampaignSpec{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit8"}, N: 256, TrialsPerBit: 2})
 	if verr != nil {
 		t.Fatal(verr)
 	}
@@ -342,7 +344,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	postJSON(t, ts.URL+"/v1/inject", `{"format":"posit16","value":3.5,"bit":3}`, nil)
-	var st campaignStatus
+	var st CampaignStatus
 	postJSON(t, ts.URL+"/v1/campaigns?wait=1", tinyCampaign, &st)
 
 	var m struct {
@@ -423,7 +425,7 @@ func TestRecovery(t *testing.T) {
 
 	// First server: run one campaign to completion and keep its CSV.
 	srv1, ts1 := newTestServer(t, Config{DataDir: dir})
-	var st campaignStatus
+	var st CampaignStatus
 	resp := postJSON(t, ts1.URL+"/v1/campaigns?wait=1", tinyCampaign, &st)
 	if resp.StatusCode != http.StatusOK || st.State != "complete" {
 		t.Fatalf("seed campaign: %d %+v", resp.StatusCode, st)
@@ -546,12 +548,11 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestShardsTotalMultiFormat(t *testing.T) {
-	req := CampaignRequest{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit16", "ieee32"}, BitsPerShard: 4}
-	_, shards, verr := (&req).normalize()
-	if verr != nil {
+	req := spec.CampaignSpec{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit16", "ieee32"}, BitsPerShard: 4}
+	if verr := (&req).Validate(); verr != nil {
 		t.Fatal(verr)
 	}
-	if shards != 4+8 { // 16/4 + 32/4
+	if shards := req.TotalShards(); shards != 4+8 { // 16/4 + 32/4
 		t.Errorf("shards = %d, want 12", shards)
 	}
 }

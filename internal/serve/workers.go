@@ -1,0 +1,137 @@
+package serve
+
+// The worker protocol: POST /v1/shards computes one bit-range shard
+// and streams its trials back as text/csv (worker side), while
+// POST /v1/workers registers a worker with a coordinator and
+// GET /v1/workers lists the registered fleet (coordinator side).
+// Every positserve process serves all three — any instance can act as
+// coordinator, worker, or both — so a cluster is just N identical
+// binaries pointed at each other.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+	"positres/internal/spec"
+)
+
+// ShardRequest is the body of POST /v1/shards: one bit-range work
+// unit. Spec must name exactly one field and one format — the shard's
+// (field, codec) pair — and carries the campaign parameters (n, seed,
+// trials_per_bit, keep_zeros) that make the computation deterministic
+// wherever it runs.
+type ShardRequest struct {
+	// Spec is the single-pair campaign spec of the shard.
+	Spec spec.CampaignSpec `json:"spec"`
+	// BitLo is the inclusive lower bound of the bit range.
+	BitLo int `json:"bit_lo"`
+	// BitHi is the exclusive upper bound of the bit range.
+	BitHi int `json:"bit_hi"`
+}
+
+// workerRegistration is the body of POST /v1/workers.
+type workerRegistration struct {
+	// URL is the worker's base URL as the coordinator should dial it.
+	URL string `json:"url"`
+}
+
+// workerInfo is one entry of GET /v1/workers.
+type workerInfo struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Busy    int    `json:"busy"`
+	Fails   int    `json:"consecutive_failures"`
+}
+
+// workerList is the body of GET /v1/workers.
+type workerList struct {
+	Workers []workerInfo `json:"workers"`
+}
+
+// handleRunShard serves POST /v1/shards: validate the single-pair
+// spec, regenerate the field deterministically, compute the bit range
+// through the same core engine a local run uses, and stream the
+// trials as CSV. The response is byte-exact trial data, so the
+// coordinator's journal — and therefore the final CSVs — cannot
+// distinguish local from remote computation.
+func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Spec.Fields) != 1 || len(req.Spec.Formats) != 1 {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"shard spec must name exactly one field and one format, got %d and %d",
+			len(req.Spec.Fields), len(req.Spec.Formats))
+		return
+	}
+	if verr := req.Spec.Validate(); verr != nil {
+		writeError(w, http.StatusBadRequest, verr.Code, "%s", verr.Message)
+		return
+	}
+	codec, err := numfmt.Lookup(req.Spec.Formats[0])
+	if err != nil { // unreachable after Validate, but keep the guard cheap
+		writeError(w, http.StatusBadRequest, codeUnknownFormat, "%v", err)
+		return
+	}
+	if req.BitLo < 0 || req.BitHi > codec.Width() || req.BitLo >= req.BitHi {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"bit range [%d, %d) is invalid for %d-bit format %s",
+			req.BitLo, req.BitHi, codec.Width(), codec.Name())
+		return
+	}
+	field, err := sdrbench.Lookup(req.Spec.Fields[0])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownField, "%v", err)
+		return
+	}
+
+	data := sdrbench.ToFloat64(field.Generate(req.Spec.N, req.Spec.Seed))
+	trials, err := core.RunRange(r.Context(), core.ConfigFromSpec(&req.Spec),
+		codec, req.Spec.Fields[0], data, req.BitLo, req.BitHi)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, "shard computation: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := core.WriteTrialsCSV(w, trials); err != nil {
+		// Headers are committed; the coordinator sees a truncated CSV,
+		// fails the parse, and retries the shard elsewhere.
+		fmt.Fprintln(os.Stderr, "positserve: shard stream:", err)
+	}
+}
+
+// handleRegisterWorker serves POST /v1/workers: add (idempotently)
+// one worker to the dispatch pool.
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	var reg workerRegistration
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reg); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	u, err := url.Parse(reg.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"worker url %q must be absolute (scheme + host)", reg.URL)
+		return
+	}
+	s.cluster.add(reg.URL)
+	writeJSON(w, http.StatusOK, s.cluster.list())
+}
+
+// handleListWorkers serves GET /v1/workers.
+func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.list())
+}

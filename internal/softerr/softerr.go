@@ -39,10 +39,10 @@ func (m Model) ExpectedUpsets(bits int, hours float64) float64 {
 // MRED cover the non-catastrophic upsets; catastrophic ones (decoding
 // to NaN/Inf/NaR) are counted separately.
 type EpochResult struct {
-	Upsets       int
-	MaxRelErr    float64
-	MRED         float64
-	Catastrophic int
+	Upsets       int     // bit upsets injected this epoch
+	MaxRelErr    float64 // worst relative error among non-catastrophic upsets
+	MRED         float64 // mean relative error distance of the epoch
+	Catastrophic int     // upsets that decoded to NaN/Inf/NaR
 }
 
 // poisson samples a Poisson variate (Knuth's product method for small
@@ -127,10 +127,10 @@ func Simulate(m Model, codec numfmt.Codec, data []float64, hours float64, epochs
 
 // Summary aggregates a simulation.
 type Summary struct {
-	Epochs            int
-	MeanUpsets        float64
-	EpochsWithUpsets  int
-	EpochsCatastrophe int
+	Epochs            int     // epochs simulated
+	MeanUpsets        float64 // mean upsets per epoch
+	EpochsWithUpsets  int     // epochs that saw at least one upset
+	EpochsCatastrophe int     // epochs with at least one catastrophic upset
 	// MeanMaxRelErr averages the finite per-epoch maxima over epochs
 	// that saw at least one upset.
 	MeanMaxRelErr float64

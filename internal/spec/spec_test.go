@@ -1,0 +1,152 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// valid returns a minimal valid spec for mutation in table tests.
+func valid() *CampaignSpec {
+	return &CampaignSpec{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit16"}}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	s := valid()
+	if verr := s.Validate(); verr != nil {
+		t.Fatalf("Validate: %v", verr)
+	}
+	if s.N != 100_000 {
+		t.Errorf("N default = %d, want 100000", s.N)
+	}
+	if s.TrialsPerBit != 313 {
+		t.Errorf("TrialsPerBit default = %d, want 313", s.TrialsPerBit)
+	}
+	if s.Seed != 1 {
+		t.Errorf("Seed default = %d, want 1", s.Seed)
+	}
+	if s.BitsPerShard != 8 {
+		t.Errorf("BitsPerShard default = %d, want 8", s.BitsPerShard)
+	}
+	if s.MaxRetries == nil || *s.MaxRetries != 2 {
+		t.Errorf("MaxRetries default = %v, want 2", s.MaxRetries)
+	}
+	if s.ShardTimeout != "10m" {
+		t.Errorf("ShardTimeout default = %q, want 10m", s.ShardTimeout)
+	}
+	if got := s.ShardTimeoutDuration(); got != 10*time.Minute {
+		t.Errorf("ShardTimeoutDuration = %v, want 10m", got)
+	}
+	if got := s.MaxRetriesValue(); got != 2 {
+		t.Errorf("MaxRetriesValue = %d, want 2", got)
+	}
+	// Idempotent: re-validating a validated spec changes nothing.
+	before := *s
+	if verr := s.Validate(); verr != nil {
+		t.Fatalf("revalidate: %v", verr)
+	}
+	if s.N != before.N || s.ShardTimeout != before.ShardTimeout {
+		t.Errorf("Validate is not idempotent: %+v vs %+v", *s, before)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	neg := -1
+	cases := []struct {
+		name    string
+		mutate  func(*CampaignSpec)
+		code    string
+		message string // substring
+	}{
+		{"no fields", func(s *CampaignSpec) { s.Fields = nil }, CodeBadRequest, `"fields"`},
+		{"no formats", func(s *CampaignSpec) { s.Formats = nil }, CodeBadRequest, `"formats"`},
+		{"negative n", func(s *CampaignSpec) { s.N = -5 }, CodeBadRequest, `"n"`},
+		{"negative trials", func(s *CampaignSpec) { s.TrialsPerBit = -1 }, CodeBadRequest, `"trials_per_bit"`},
+		{"negative bits per shard", func(s *CampaignSpec) { s.BitsPerShard = -2 }, CodeBadRequest, `"bits_per_shard"`},
+		{"negative retries", func(s *CampaignSpec) { s.MaxRetries = &neg }, CodeBadRequest, `"max_retries"`},
+		{"bad timeout", func(s *CampaignSpec) { s.ShardTimeout = "soon" }, CodeBadRequest, `"shard_timeout"`},
+		{"negative timeout", func(s *CampaignSpec) { s.ShardTimeout = "-3s" }, CodeBadRequest, `"shard_timeout"`},
+		{"unknown field", func(s *CampaignSpec) { s.Fields = []string{"NoSuch/field"} }, CodeUnknownField, "NoSuch/field"},
+		{"unknown format", func(s *CampaignSpec) { s.Formats = []string{"posit7"} }, CodeUnknownFormat, "posit7"},
+		{"duplicate pair", func(s *CampaignSpec) { s.Formats = []string{"posit16", "posit16"} }, CodeBadRequest, "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := valid()
+			c.mutate(s)
+			verr := s.Validate()
+			if verr == nil {
+				t.Fatal("Validate accepted an invalid spec")
+			}
+			if verr.Code != c.code {
+				t.Errorf("code = %q, want %q", verr.Code, c.code)
+			}
+			if !strings.Contains(verr.Message, c.message) {
+				t.Errorf("message %q does not mention %q", verr.Message, c.message)
+			}
+			if verr.Error() != verr.Message {
+				t.Errorf("Error() = %q, want the message", verr.Error())
+			}
+		})
+	}
+}
+
+// TestWireCompat pins the JSON wire format of /v1/campaigns: the tags
+// must match the pre-CampaignSpec request body exactly, so existing
+// clients and persisted job.json files keep decoding.
+func TestWireCompat(t *testing.T) {
+	body := `{
+		"fields": ["CESM/CLOUD", "HACC/vx"],
+		"formats": ["posit16", "ieee32"],
+		"n": 400,
+		"trials_per_bit": 3,
+		"seed": 7,
+		"keep_zeros": true,
+		"bits_per_shard": 4,
+		"max_retries": 1,
+		"shard_timeout": "30s"
+	}`
+	var s CampaignSpec
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if verr := s.Validate(); verr != nil {
+		t.Fatalf("Validate: %v", verr)
+	}
+	if len(s.Fields) != 2 || s.Fields[1] != "HACC/vx" || s.N != 400 || s.Seed != 7 ||
+		!s.KeepZeros || s.BitsPerShard != 4 || s.MaxRetriesValue() != 1 ||
+		s.ShardTimeoutDuration() != 30*time.Second {
+		t.Fatalf("decoded spec = %+v", s)
+	}
+
+	raw, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for _, tag := range []string{`"fields"`, `"formats"`, `"n"`, `"trials_per_bit"`,
+		`"seed"`, `"keep_zeros"`, `"bits_per_shard"`, `"max_retries"`, `"shard_timeout"`} {
+		if !strings.Contains(string(raw), tag) {
+			t.Errorf("encoded spec is missing wire tag %s: %s", tag, raw)
+		}
+	}
+}
+
+func TestTotalShards(t *testing.T) {
+	s := &CampaignSpec{
+		Fields:       []string{"CESM/CLOUD", "HACC/vx"},
+		Formats:      []string{"posit16", "ieee32"},
+		BitsPerShard: 4,
+	}
+	if verr := s.Validate(); verr != nil {
+		t.Fatalf("Validate: %v", verr)
+	}
+	// Two fields × (16-bit → 4 shards, 32-bit → 8 shards) = 24.
+	if got := s.TotalShards(); got != 24 {
+		t.Errorf("TotalShards = %d, want 24", got)
+	}
+	s.BitsPerShard = 0 // callers may ask before Validate; 0 falls back to 8
+	if got := s.TotalShards(); got != 2*(2+4) {
+		t.Errorf("TotalShards(default granularity) = %d, want 12", got)
+	}
+}

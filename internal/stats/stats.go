@@ -15,11 +15,11 @@ import (
 // Summary holds the per-field statistics reported in the paper's
 // Table 1.
 type Summary struct {
-	Count  int
-	Mean   float64
-	Median float64
-	Min    float64
-	Max    float64
+	Count  int     // finite elements summarized
+	Mean   float64 // arithmetic mean
+	Median float64 // 50th percentile
+	Min    float64 // smallest element
+	Max    float64 // largest element
 	Std    float64 // population standard deviation, as QCAT reports
 }
 
@@ -258,8 +258,8 @@ func partition3(data []float64, lo, hi int) (int, int) {
 
 // Histogram counts elements into nb equal-width bins over [min, max].
 type Histogram struct {
-	Min, Max float64
-	Counts   []int
+	Min, Max float64 // bin range; elements outside land in Under/Over
+	Counts   []int   // per-bin tallies, len = requested bin count
 	// Under and Over count elements outside [Min, Max]; Special counts
 	// NaN/Inf elements.
 	Under, Over, Special int
@@ -293,8 +293,8 @@ func NewHistogram(data []float64, min, max float64, nb int) *Histogram {
 // BoxStats holds the five-number summary used by the paper's box plot
 // (Fig. 20), plus the count.
 type BoxStats struct {
-	N                       int
-	Low, Q1, Median, Q3, Hi float64
+	N                       int     // finite elements included
+	Low, Q1, Median, Q3, Hi float64 // whisker low, quartiles, whisker high
 }
 
 // Box computes the five-number summary of the finite elements.

@@ -15,22 +15,22 @@ import (
 
 // Series is one named curve: Y[i] plotted at X[i].
 type Series struct {
-	Name string
-	X    []float64
-	Y    []float64
+	Name string    // legend label
+	X    []float64 // abscissae, parallel to Y
+	Y    []float64 // ordinates
 }
 
 // LineChart renders one or more series on a shared axis grid.
 type LineChart struct {
-	Title  string
-	XLabel string
-	YLabel string
+	Title  string // printed above the plot; empty = omitted
+	XLabel string // x-axis caption
+	YLabel string // y-axis caption
 	// LogY plots log10(y); non-positive and non-finite points are
 	// skipped (rendered as gaps), as in the paper's log-scale figures.
 	LogY   bool
-	Width  int // plot columns (default 72)
-	Height int // plot rows (default 20)
-	Series []Series
+	Width  int      // plot columns (default 72)
+	Height int      // plot rows (default 20)
+	Series []Series // curves to render, legend in slice order
 }
 
 // seriesGlyphs mark points of successive series.
@@ -174,13 +174,14 @@ func (c *LineChart) TSV() string {
 // BoxPlot renders labeled five-number summaries on a shared
 // (optionally log) scale — the layout of the paper's Fig. 20.
 type BoxPlot struct {
-	Title  string
-	XLabel string
-	LogX   bool
-	Width  int
+	Title  string // printed above the plot; empty = omitted
+	XLabel string // value-axis caption
+	LogX   bool   // render on a log10 value scale
+	Width  int    // plot columns (default 72)
+	// Groups are the boxes to draw, one row each, top to bottom.
 	Groups []struct {
-		Label string
-		Box   stats.BoxStats
+		Label string         // row label
+		Box   stats.BoxStats // five-number summary to draw
 	}
 }
 
@@ -281,8 +282,8 @@ func unTx(v float64, logx bool) float64 {
 
 // Table renders rows with aligned columns.
 type Table struct {
-	Header []string
-	Rows   [][]string
+	Header []string   // column titles
+	Rows   [][]string // cell text, each row len(Header) wide
 }
 
 // AddRow appends a row.

@@ -29,8 +29,12 @@ import (
 	"positres/internal/ieee754"
 	"positres/internal/numfmt"
 	"positres/internal/posit"
+	"positres/internal/runner"
 	"positres/internal/sdrbench"
+	"positres/internal/serve"
+	"positres/internal/spec"
 	"positres/internal/stats"
+	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
 
@@ -213,4 +217,43 @@ var (
 	SoftErrorTable    = figures.SoftErrorTable
 	MLFlipChart       = figures.MLFlipChart
 	MLImpactTable     = figures.MLImpactTable
+)
+
+// Durable campaigns and the positserve service: the job-level surface
+// of the engine. One canonical CampaignSpec describes a campaign
+// everywhere — the positcampaign CLI, runner.Run, the positserve HTTP
+// API and its Go client all consume the same struct with the same
+// Validate() and the same stable error codes.
+type (
+	// CampaignSpec is the canonical campaign description (fields ×
+	// formats plus sampling parameters). Its JSON form is the positserve
+	// wire format.
+	CampaignSpec = spec.CampaignSpec
+	// SpecError is a validation failure with a stable machine-readable
+	// code, shared between the CLI and the HTTP API.
+	SpecError = spec.Error
+	// RunnerConfig parameterizes a durable, resumable campaign run.
+	RunnerConfig = runner.Config
+	// RunnerReport is the outcome of a durable campaign run.
+	RunnerReport = runner.Report
+	// ServeClient is the typed HTTP client of a positserve instance.
+	ServeClient = serve.Client
+	// ServeAPIError is a positserve error envelope surfaced client-side.
+	ServeAPIError = serve.APIError
+	// ServeCampaignStatus is a campaign's job status document.
+	ServeCampaignStatus = serve.CampaignStatus
+	// TelemetrySnapshot is the positres-telemetry/v1 metrics document.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+var (
+	// RunDurable executes a CampaignSpec durably under a state
+	// directory: journaled shards, crash-safe resume, bounded retries
+	// (and, under positserve coordinator mode, distributed fan-out).
+	RunDurable = runner.Run
+	// ExpandSpecs expands a CampaignSpec into its (field, codec) matrix.
+	ExpandSpecs = runner.SpecsOf
+	// NewServeClient dials a positserve instance (coordinator or
+	// worker).
+	NewServeClient = serve.NewClient
 )

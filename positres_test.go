@@ -5,6 +5,7 @@ package positres_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -194,5 +195,56 @@ func TestFacadeFMAAndConvert(t *testing.T) {
 	}
 	if p.NextUp().NextDown() != p {
 		t.Error("next")
+	}
+}
+
+func TestFacadeDurableCampaign(t *testing.T) {
+	// One canonical spec drives validation, durable execution, and the
+	// service API alike.
+	cs := &positres.CampaignSpec{
+		Fields:       []string{"CESM/CLOUD"},
+		Formats:      []string{"posit8"},
+		N:            128,
+		TrialsPerBit: 2,
+		Seed:         3,
+	}
+	if verr := cs.Validate(); verr != nil {
+		t.Fatalf("Validate: %s: %s", verr.Code, verr.Message)
+	}
+	specs := positres.ExpandSpecs(cs)
+	if len(specs) != 1 {
+		t.Fatalf("ExpandSpecs = %d specs, want 1", len(specs))
+	}
+
+	rep, err := positres.RunDurable(context.Background(), positres.RunnerConfig{
+		Spec: cs, Dir: t.TempDir(), Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() || len(rep.Results) != 1 || rep.Results[0] == nil {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := len(rep.Results[0].Trials); got != 8*2 {
+		t.Fatalf("trials = %d, want 16", got)
+	}
+
+	// Bad specs fail with the stable error code shared with the CLI
+	// and the HTTP API.
+	bad := &positres.CampaignSpec{Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit7"}}
+	verr := bad.Validate()
+	if verr == nil || verr.Code != "unknown_format" {
+		t.Fatalf("Validate = %v, want unknown_format", verr)
+	}
+
+	// The service client constructs (no server needed for the type
+	// surface check).
+	var client *positres.ServeClient = positres.NewServeClient("http://127.0.0.1:1", nil)
+	if client.BaseURL() != "http://127.0.0.1:1" {
+		t.Fatalf("BaseURL = %q", client.BaseURL())
+	}
+	var apiErr *positres.ServeAPIError = &positres.ServeAPIError{Status: 429, Code: "queue_full", Message: "x"}
+	if !strings.Contains(apiErr.Error(), "queue_full") {
+		t.Fatalf("APIError.Error() = %q", apiErr.Error())
 	}
 }

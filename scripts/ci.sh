@@ -4,9 +4,9 @@
 # Runs every gate in order and fails fast: formatting, vet, build,
 # positlint (including a self-test that the linter still fires on its
 # fixtures), the short test suite, the race-detector pass, and the
-# kill-and-resume campaign e2e, and the kill-and-restart positserve
-# e2e. Each step prints a banner so failures are attributable at a
-# glance.
+# kill-and-resume campaign e2e, the kill-and-restart positserve e2e,
+# and the dead-worker cluster fan-out e2e. Each step prints a banner
+# so failures are attributable at a glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,6 +66,9 @@ banner "resume e2e: kill-and-resume must reproduce CSVs byte-for-byte"
 
 banner "serve e2e: kill-and-restart positserve must auto-resume byte-for-byte"
 ./scripts/serve_e2e.sh
+
+banner "cluster e2e: distributed fan-out must survive a dead worker byte-for-byte"
+./scripts/cluster_e2e.sh
 
 echo ""
 echo "=== ci: all $step steps passed ==="
