@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint race ci resume-e2e serve-e2e cluster-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint lint-fix lint-json lint-prune race ci resume-e2e serve-e2e cluster-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -20,9 +20,25 @@ test-short:
 	$(GO) test -short ./...
 
 # Domain-aware static analysis (see docs/LINT.md). Non-zero exit on
-# any unsuppressed diagnostic, so this gates CI.
+# any unsuppressed diagnostic, so this gates CI. The content-hash
+# cache lives under /tmp so repeat runs only re-analyze what changed.
 lint:
-	$(GO) run ./cmd/positlint ./...
+	$(GO) run ./cmd/positlint -cache "$${TMPDIR:-/tmp}/positlint-cache" ./...
+
+# Apply the mechanical autofixes (errdrop, pkgdoc, exportdoc stubs)
+# in place, then report whatever judgement rules still flag.
+lint-fix:
+	$(GO) run ./cmd/positlint -fix ./...
+
+# Machine-readable diagnostics (positlint-diag/v1), the same document
+# CI archives as artifacts/positlint.json.
+lint-json:
+	$(GO) run ./cmd/positlint -format json ./...
+
+# Report suppression-file entries and inline ignore directives that no
+# longer match any diagnostic; `make ci` fails on these.
+lint-prune:
+	$(GO) run ./cmd/positlint -prune ./...
 
 # Race-detector pass over the short test path (the campaign worker
 # pools run at 1/2/8 workers under these tests).

@@ -13,7 +13,21 @@
 // directory) is loaded as a standalone package.
 //
 // Exit status: 0 when clean, 1 when any diagnostic survives
-// suppression, 2 on load/type-check errors or bad usage.
+// suppression (with -fix: survives fixing; with -prune: any stale
+// suppression), 2 on load/type-check errors, patterns matching no Go
+// packages, or bad usage.
+//
+// Flags beyond rule selection:
+//
+//	-fix          apply the suggested fixes of mechanical rules
+//	              (errdrop, pkgdoc, exportdoc) in place, then report
+//	              what remains
+//	-format json  emit the diagnostics as a positlint-diag/v1 JSON
+//	              report instead of text lines (CI archives this)
+//	-prune        report suppression-file entries and inline ignore
+//	              directives that no longer match any diagnostic
+//	-cache DIR    reuse per-package results keyed by content hash
+//	-jobs N       analyze N packages concurrently (default GOMAXPROCS)
 //
 // Suppressions: see docs/LINT.md. File-based entries live in
 // .positlint.suppress at the module root; inline escapes use
@@ -41,12 +55,21 @@ func run(args []string, stdout, stderr *os.File) int {
 		list     = fs.Bool("list", false, "list the rules and exit")
 		rulesCSV = fs.String("rules", "", "comma-separated rule IDs to run (default: all)")
 		suppress = fs.String("suppress", "", "suppression file (default: <module root>/.positlint.suppress)")
+		fix      = fs.Bool("fix", false, "apply suggested fixes in place, then report what remains")
+		format   = fs.String("format", "text", "output format: text or json")
+		prune    = fs.Bool("prune", false, "report stale suppressions and ignore directives instead of linting")
+		cacheDir = fs.String("cache", "", "cache per-package results in this directory")
+		jobs     = fs.Int("jobs", 0, "packages to analyze concurrently (default GOMAXPROCS)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: positlint [flags] [patterns...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "positlint: -format must be text or json, got %q\n", *format)
 		return 2
 	}
 
@@ -94,11 +117,56 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		pkgs = append(pkgs, loaded...)
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "positlint: no Go packages matched %s\n", strings.Join(patterns, " "))
+		return 2
+	}
 
-	runner := &lint.Runner{Rules: rules, Suppress: sup}
+	if *prune {
+		stale := lint.FindStale(pkgs, rules, sup)
+		for _, s := range stale {
+			fmt.Fprintln(stdout, s)
+		}
+		if len(stale) > 0 {
+			fmt.Fprintf(stderr, "positlint: %d stale suppression(s); delete them\n", len(stale))
+			return 1
+		}
+		return 0
+	}
+
+	runner := &lint.Runner{Rules: rules, Suppress: sup, Jobs: *jobs}
+	if *cacheDir != "" {
+		runner.Cache = lint.NewCache(*cacheDir)
+	}
 	diags := runner.Run(pkgs)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+
+	if *fix {
+		changed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+		if n := lint.Fixable(diags); n > 0 {
+			fmt.Fprintf(stderr, "positlint: fixed %d issue(s) in %d file(s)\n", n, len(changed))
+		}
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	if *format == "json" {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "positlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "positlint: %d issue(s)\n", len(diags))

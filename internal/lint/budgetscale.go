@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BudgetScale enforces that code which is handed a trial Budget
+// actually scales with it. The figure builders accept a Budget so one
+// flag (--budget) moves the whole statistical resolution of a run —
+// trials per bit, dataset sizes, shard counts — together. The failure
+// mode this rule exists for: a builder takes the Budget, then
+// hard-codes TrialsPerBit or DatasetN in a campaign config anyway, so
+// a 10x budget bump silently leaves one figure at its old resolution
+// and its confidence intervals quietly lie next to the others'.
+//
+// The rule activates inside any function or method that receives a
+// value of a named type called Budget (parameter or receiver) and
+// flags, within that body:
+//
+//   - composite literal fields named TrialsPerBit or DatasetN given a
+//     non-zero constant value;
+//   - assignments to selectors .TrialsPerBit or .DatasetN from a
+//     non-zero constant.
+//
+// Values derived from the Budget (b.TrialsPerBit / 4, min(b.DatasetN,
+// cap)...) are exempt because they reference the budget parameter;
+// the zero constant is exempt because zero means "use the default"
+// throughout the config types.
+type BudgetScale struct{}
+
+// NewBudgetScale returns the rule.
+func NewBudgetScale() *BudgetScale { return &BudgetScale{} }
+
+// ID implements Rule.
+func (*BudgetScale) ID() string { return "budgetscale" }
+
+// Doc implements Rule.
+func (*BudgetScale) Doc() string {
+	return "flags hard-coded trial counts inside functions that receive a Budget"
+}
+
+// budgetFields are the knobs a Budget is supposed to drive.
+var budgetFields = map[string]bool{"TrialsPerBit": true, "DatasetN": true}
+
+// isBudgetType reports whether t (after pointer deref) is a named type
+// called Budget.
+func isBudgetType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Budget"
+}
+
+// Check implements Rule.
+func (r *BudgetScale) Check(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	// walkFuncs drops receivers, and methods on a Budget-carrying
+	// config type are exactly where hard-coding happens — walk the
+	// FuncDecls directly.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			budget := budgetObjects(pass, fd)
+			if len(budget) == 0 {
+				continue
+			}
+			out = append(out, r.checkBody(pass, fd, budget)...)
+		}
+	}
+	return out
+}
+
+// budgetObjects collects the Budget-typed parameters and receiver of
+// fd, plus parameters of struct types that carry a Budget field — the
+// objects whose use exempts a trial-count expression.
+func budgetObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	collect := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := pass.Info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isBudgetType(obj.Type()) || hasBudgetField(obj.Type()) {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return objs
+}
+
+// hasBudgetField reports whether t (after pointer deref) is a struct
+// with a Budget-typed field, so configs that embed the budget also
+// activate the rule.
+func hasBudgetField(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isBudgetType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBody flags hard-coded budget knobs inside one Budget-receiving
+// function.
+func (r *BudgetScale) checkBody(pass *Pass, fd *ast.FuncDecl, budget map[types.Object]bool) []Diagnostic {
+	var out []Diagnostic
+	flag := func(field string, value ast.Expr, at ast.Node) {
+		if !budgetFields[field] {
+			return
+		}
+		if _, isConst := constIntVal(pass, value); !isConst || isConstZero(pass, value) {
+			return
+		}
+		if usesAnyObject(pass, value, budget) {
+			return // derived from the budget: scaling correctly
+		}
+		out = append(out, pass.Diag(r, at.Pos(),
+			"%s hard-codes %s = %s inside a Budget-receiving function; derive it from the budget so --budget scales this path",
+			fd.Name.Name, field, exprString(value)))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					flag(key.Name, kv.Value, kv)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					flag(sel.Sel.Name, x.Rhs[i], x)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,110 @@
+package lint
+
+// Content-hash diagnostic cache. Type-checking the whole module and
+// re-running fourteen rules on every `make lint` grows linearly with
+// the repo; the cache cuts the rule pass to the packages that actually
+// changed. The key covers everything a package's diagnostics can
+// depend on: the engine version, the rule set, the fact-index hash
+// (facts are cross-package inputs, so any fact change invalidates
+// everything), and the content hash of every file in the package.
+// Entries therefore never go stale-but-valid — a hit is exact by
+// construction, and eviction is unnecessary for a repo-sized corpus.
+//
+// Cached entries hold the post-inline-ignore, pre-file-suppression
+// diagnostic set: inline directives live in the hashed file contents,
+// while .positlint.suppress is applied after the cache layer, so
+// editing the suppression file never forces re-analysis.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"positres/internal/atomicio"
+)
+
+// cacheVersion invalidates every entry when the engine or a rule's
+// semantics change. Bump it alongside behavioural rule edits.
+const cacheVersion = "positlint-cache/v1"
+
+// Cache is a directory of per-package diagnostic records keyed by
+// content hash. The zero value (nil) disables caching. Safe for
+// concurrent use: entries are immutable once written and writes are
+// atomic renames.
+type Cache struct {
+	// Dir is the cache directory; created on first write.
+	Dir string
+}
+
+// NewCache returns a cache rooted at dir.
+func NewCache(dir string) *Cache { return &Cache{Dir: dir} }
+
+// cacheEntry is the on-disk record.
+type cacheEntry struct {
+	Schema string       `json:"schema"` // cacheVersion, verified on read
+	Diags  []Diagnostic `json:"diags"`  // post-inline-ignore diagnostics
+}
+
+// key derives the content-hash key for one package under a rule set
+// and fact index. Reading a source file fails only if the tree
+// changed mid-run; the caller treats any error as "don't cache".
+func (c *Cache) key(pkg *Package, ruleIDs []string, factsHash string) (string, error) {
+	h := sha256.New()
+	_, _ = io.WriteString(h, cacheVersion)
+	_, _ = io.WriteString(h, pkg.Path)
+	ids := append([]string(nil), ruleIDs...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		_, _ = io.WriteString(h, id)
+	}
+	_, _ = io.WriteString(h, factsHash)
+	names := make([]string, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		names = append(names, pkg.Fset.Position(f.Package).Filename)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "", fmt.Errorf("lint: cache key: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		_, _ = io.WriteString(h, name)
+		_, _ = h.Write(sum[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// get loads the entry for key; a miss, unreadable file or version
+// mismatch reports !ok and the package is re-analyzed.
+func (c *Cache) get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.Dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil || entry.Schema != cacheVersion {
+		return nil, false
+	}
+	return entry.Diags, true
+}
+
+// put records diags under key. Failures are deliberately swallowed:
+// the cache is an accelerator, never a correctness dependency, and a
+// read-only cache dir must not fail the lint run itself.
+func (c *Cache) put(key string, diags []Diagnostic) {
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return
+	}
+	raw, err := json.Marshal(cacheEntry{Schema: cacheVersion, Diags: diags})
+	if err != nil {
+		return
+	}
+	// Atomic write so a concurrent reader never sees a torn entry.
+	_ = atomicio.WriteFileBytes(filepath.Join(c.Dir, key+".json"), raw)
+}

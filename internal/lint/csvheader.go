@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CSVHeader keeps string-list schema registries and the structs they
+// mirror from drifting apart. The repo's wire formats are deliberate
+// plain CSV/JSON with a hand-maintained header registry next to the
+// struct they serialize — core.trialHeader names the fifteen columns
+// of core.Trial, and every encode/decode path is expected to touch
+// every field. Nothing in the language ties the three together: add a
+// field to Trial and forget the header (or the encoder), and campaign
+// archives silently lose a column while old readers keep "working" on
+// shifted data.
+//
+// The rule keys on the naming convention `<x>Header` → struct `<X>`
+// (trialHeader → Trial), resolved through the fact index so the
+// registry and the struct may live in different packages. It fires
+// when:
+//
+//   - the registry length differs from the struct's named field count
+//     (a field was added or removed without updating the header);
+//   - a function references both the registry and at least one field
+//     of the struct — the shape of every encoder and decoder — but
+//     does not reference ALL of the struct's fields. A positional
+//     composite literal of the struct counts as referencing every
+//     field (the compiler already enforces arity there).
+//
+// Functions that reference the struct without the header (business
+// logic) or the header without fields (writing the header row) are
+// out of scope: only code that claims to map between the two is held
+// to completeness.
+type CSVHeader struct{}
+
+// NewCSVHeader returns the rule.
+func NewCSVHeader() *CSVHeader { return &CSVHeader{} }
+
+// ID implements Rule.
+func (*CSVHeader) ID() string { return "csvheader" }
+
+// Doc implements Rule.
+func (*CSVHeader) Doc() string {
+	return "flags <x>Header registries and encode/decode paths that drift from the struct they serialize"
+}
+
+// headerStructName maps a registry variable name to the struct it
+// mirrors: trialHeader -> Trial. Empty when the name does not follow
+// the convention.
+func headerStructName(varName string) string {
+	base, ok := strings.CutSuffix(varName, "Header")
+	if !ok || base == "" {
+		return ""
+	}
+	return strings.ToUpper(base[:1]) + base[1:]
+}
+
+// Check implements Rule.
+func (r *CSVHeader) Check(pass *Pass) []Diagnostic {
+	if pass.Facts == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, fact := range pass.Facts.StringLists {
+		if fact.Pkg != pass.Path {
+			continue // diagnostics are anchored in the declaring package
+		}
+		structName := headerStructName(fact.Name)
+		if structName == "" {
+			continue
+		}
+		sf := pass.Facts.StructIn(fact.Pkg, structName)
+		if sf == nil {
+			continue // no struct of that name anywhere: not a schema registry
+		}
+		if len(fact.Elems) != len(sf.Fields) {
+			out = append(out, pass.Diag(r, fact.pos,
+				"%s has %d columns but %s has %d fields; header and struct must stay in lockstep",
+				fact.Name, len(fact.Elems), structName, len(sf.Fields)))
+		}
+		out = append(out, r.checkMappers(pass, fact, sf)...)
+	}
+	return out
+}
+
+// checkMappers flags functions that reference both the header registry
+// and a strict subset of the struct's fields.
+func (r *CSVHeader) checkMappers(pass *Pass, fact *StringListFact, sf *StructFact) []Diagnostic {
+	// Resolve the registry variable object by declaration position so
+	// shadowing locals of the same name cannot confuse the match.
+	var headerObj types.Object
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Pos() == fact.pos {
+				headerObj = pass.Info.Defs[id]
+				return false
+			}
+			return true
+		})
+		if headerObj != nil {
+			break
+		}
+	}
+	if headerObj == nil {
+		return nil
+	}
+
+	var out []Diagnostic
+	walkFuncs(pass, func(name string, _ *ast.FuncType, body *ast.BlockStmt) {
+		var headerUse ast.Node
+		fields := map[string]bool{}
+		all := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if headerUse == nil && pass.Info.Uses[x] == headerObj {
+					headerUse = x
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					if isNamedStruct(sel.Recv(), sf.Name) {
+						fields[x.Sel.Name] = true
+					}
+				}
+			case *ast.CompositeLit:
+				if t := pass.TypeOf(x); t != nil && isNamedStruct(t, sf.Name) {
+					keyed := false
+					for _, el := range x.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							keyed = true
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								fields[id.Name] = true
+							}
+						}
+					}
+					if !keyed && len(x.Elts) == len(sf.Fields) {
+						all = true // positional literal: compiler enforces arity
+					}
+				}
+			}
+			return true
+		})
+		if headerUse == nil || all || len(fields) == 0 {
+			return
+		}
+		var missing []string
+		for _, f := range sf.Fields {
+			if !fields[f.Name] {
+				missing = append(missing, f.Name)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		sort.Strings(missing)
+		out = append(out, pass.Diag(r, headerUse.Pos(),
+			"%s maps %s to %s but never touches field(s) %s; encode/decode paths must cover every field",
+			name, fact.Name, sf.Name, strings.Join(missing, ", ")))
+	})
+	return out
+}
+
+// isNamedStruct reports whether t (after pointer deref) is the named
+// struct type called name.
+func isNamedStruct(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != name {
+		return false
+	}
+	_, isStruct := n.Underlying().(*types.Struct)
+	return isStruct
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrCode keeps the error-envelope code vocabulary closed. The serve
+// API's operability contract (docs/OPERATIONS.md) promises clients a
+// stable, enumerable set of machine-readable `code` strings; dashboards
+// and the distributed campaign driver dispatch on them. The registry is
+// just a block of string constants (spec.Code*, serve's code* aliases)
+// — nothing stops a handler from writing an ad-hoc literal like
+// writeError(w, 400, "bad-stuff", ...) that no client switch has a
+// case for.
+//
+// Pass 1 collects every string constant named [Cc]ode… module-wide
+// into the fact index; this rule then flags any constant string that
+// flows into a `code` position without being one of the registered
+// values:
+//
+//   - a composite literal of an error-envelope struct (one with both
+//     Code and Message string fields) whose Code field gets an
+//     unregistered constant string;
+//   - a call argument bound to a string parameter named `code` that
+//     folds to an unregistered constant string.
+//
+// Non-constant code expressions are out of scope (they trace back to
+// the registry or to request data by construction of the envelope
+// helpers), and the rule stays silent when the module declares no
+// registry at all — fixtures and scratch packages aren't forced to
+// invent one.
+type ErrCode struct{}
+
+// NewErrCode returns the rule.
+func NewErrCode() *ErrCode { return &ErrCode{} }
+
+// ID implements Rule.
+func (*ErrCode) ID() string { return "errcode" }
+
+// Doc implements Rule.
+func (*ErrCode) Doc() string {
+	return "flags error-envelope code strings missing from the stable Code* constant registry"
+}
+
+// Check implements Rule.
+func (r *ErrCode) Check(pass *Pass) []Diagnostic {
+	if pass.Facts == nil || len(pass.Facts.ErrorCodes) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				out = append(out, r.checkEnvelope(pass, x)...)
+			case *ast.CallExpr:
+				out = append(out, r.checkCall(pass, x)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkEnvelope flags unregistered constant Code values in composite
+// literals of error-envelope structs.
+func (r *ErrCode) checkEnvelope(pass *Pass, cl *ast.CompositeLit) []Diagnostic {
+	t := pass.TypeOf(cl)
+	if t == nil {
+		return nil
+	}
+	st := envelopeStruct(t)
+	if st == nil {
+		return nil
+	}
+	var out []Diagnostic
+	check := func(e ast.Expr) {
+		if code, ok := constString(pass, e); ok && code != "" && !pass.Facts.HasErrorCode(code) {
+			out = append(out, pass.Diag(r, e.Pos(),
+				"error code %q is not in the stable code registry; add a Code* constant or use an existing one — clients dispatch on these strings",
+				code))
+		}
+	}
+	for i, el := range cl.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+				check(kv.Value)
+			}
+			continue
+		}
+		// Positional literal: match the element against the Code field.
+		if i < st.NumFields() && st.Field(i).Name() == "Code" {
+			check(el)
+		}
+	}
+	return out
+}
+
+// checkCall flags unregistered constant strings bound to parameters
+// named "code".
+func (r *ErrCode) checkCall(pass *Pass, call *ast.CallExpr) []Diagnostic {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		p := sig.Params().At(i)
+		if p.Name() != "code" || !isStringType(p.Type()) {
+			continue
+		}
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break // a variadic ...string tail is not a code slot
+		}
+		if code, ok := constString(pass, call.Args[i]); ok && code != "" && !pass.Facts.HasErrorCode(code) {
+			out = append(out, pass.Diag(r, call.Args[i].Pos(),
+				"error code %q passed to %s is not in the stable code registry; add a Code* constant or use an existing one",
+				code, fn.Name()))
+		}
+	}
+	return out
+}
+
+// envelopeStruct returns the underlying struct of t when it is an
+// error-envelope shape — a struct with both Code and Message string
+// fields — and nil otherwise.
+func envelopeStruct(t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var hasCode, hasMessage bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isStringType(f.Type()) {
+			continue
+		}
+		switch f.Name() {
+		case "Code":
+			hasCode = true
+		case "Message":
+			hasMessage = true
+		}
+	}
+	if hasCode && hasMessage {
+		return st
+	}
+	return nil
+}
+
+// constString returns the constant string value of e, if the
+// type-checker folded one. Identifiers that resolve to the registry
+// constants themselves fold here too — they pass HasErrorCode by
+// construction unless the constant was renamed out of the registry.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return strings.Clone(constant.StringVal(tv.Value)), true
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

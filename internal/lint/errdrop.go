@@ -49,8 +49,10 @@ func (r *ErrDrop) Check(pass *Pass) []Diagnostic {
 			if !returnsError(pass, call) || allowedDrop(pass, call) {
 				return true
 			}
-			out = append(out, pass.Diag(r, call.Pos(),
-				"error result of %s is discarded; handle it or assign it to _ explicitly", exprString(call.Fun)))
+			d := pass.Diag(r, call.Pos(),
+				"error result of %s is discarded; handle it or assign it to _ explicitly", exprString(call.Fun))
+			d.Fix = pass.insertFix(call.Pos(), "assign the discarded error to _", "_ = ")
+			out = append(out, d)
 			return true
 		})
 	}

@@ -58,13 +58,22 @@ func (r *ExportDoc) Check(pass *Pass) []Diagnostic {
 					if documented(field) {
 						continue
 					}
+					fixed := false
 					for _, name := range field.Names {
 						if !name.IsExported() {
 							continue
 						}
-						diags = append(diags, pass.Diag(r, name.Pos(),
+						d := pass.Diag(r, name.Pos(),
 							"exported field %s.%s has no doc comment or trailing comment; document it per field (a group comment covers only the first field of its run)",
-							ts.Name.Name, name.Name))
+							ts.Name.Name, name.Name)
+						if !fixed {
+							// One trailing comment serves every name in
+							// the field; attach the edit once so -fix
+							// does not insert it twice.
+							d.Fix = pass.insertFix(field.End(), "append a field doc stub", " // TODO: document")
+							fixed = true
+						}
+						diags = append(diags, d)
 					}
 				}
 			}

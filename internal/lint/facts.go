@@ -1,0 +1,367 @@
+package lint
+
+// Pass 1 of the analyzer: the repo-wide fact index. Rules that enforce
+// cross-declaration invariants (a CSV header drifting from the struct
+// it serializes, an error code missing from the stable registry, quire
+// accumulation hidden behind a helper in another package) cannot see
+// what they need from a single-file AST walk. BuildFacts runs once
+// over every loaded package and records the module-level facts; pass 2
+// hands the index to every rule through Pass.Facts.
+//
+// The index is deliberately small and declarative — named structs with
+// their ordered field sets, string-literal registries, error-code
+// constants, and call-graph edges into quire accumulation APIs — so
+// its deterministic serialization doubles as a cache-key ingredient
+// (see cache.go): a package's diagnostics are valid as long as neither
+// its own files nor the facts it consumed have changed.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// FieldFact is one named struct field in declaration order.
+type FieldFact struct {
+	Name string `json:"name"` // field name (one entry per name in grouped declarations)
+	Type string `json:"type"` // declared type, rendered with types.ExprString
+}
+
+// StructFact records a named struct type and its flattened field list.
+type StructFact struct {
+	Pkg    string      `json:"pkg"`    // import path (or load dir) of the declaring package
+	Name   string      `json:"name"`   // type name
+	Fields []FieldFact `json:"fields"` // named fields in declaration order, embedded fields excluded
+}
+
+// Key returns the index key "pkg.Name".
+func (s *StructFact) Key() string { return s.Pkg + "." + s.Name }
+
+// FieldNames returns the field names in declaration order.
+func (s *StructFact) FieldNames() []string {
+	out := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// StringListFact records a package-level `var x = []string{...}` whose
+// elements are all string literals — the shape of this repo's schema
+// registries (core.trialHeader and friends).
+type StringListFact struct {
+	Pkg   string   `json:"pkg"`   // declaring package
+	Name  string   `json:"name"`  // variable name
+	Elems []string `json:"elems"` // unquoted literal elements in order
+
+	pos token.Pos // declaration position, for diagnostics
+}
+
+// ErrorCodeFact records one stable error-code constant: a string
+// constant whose name matches ^[Cc]ode[A-Z0-9_] (serve's unexported
+// code* aliases and spec's exported Code* canonicals both match).
+type ErrorCodeFact struct {
+	Pkg   string `json:"pkg"`   // declaring package
+	Name  string `json:"name"`  // constant name
+	Value string `json:"value"` // the code string itself
+}
+
+// QuireAccumFact records that a function accumulates into a
+// quire-typed parameter: the call-graph edge the quireguard rule
+// follows across package boundaries. Param indices are 0-based over
+// the declared (non-receiver) parameters.
+type QuireAccumFact struct {
+	Func   string `json:"func"`   // types.Func.FullName of the accumulating function
+	Params []int  `json:"params"` // parameter indices accumulated into, sorted
+}
+
+// FactIndex is the repo-wide fact store built by pass 1.
+type FactIndex struct {
+	// Structs maps "pkg.TypeName" to the struct's ordered field set,
+	// for every named struct type in the loaded packages.
+	Structs map[string]*StructFact
+	// StringLists maps "pkg.varName" to all-literal []string registry
+	// declarations.
+	StringLists map[string]*StringListFact
+	// ErrorCodes maps code string values to their declaring constants.
+	// A value declared by several constants (serve aliasing spec) keeps
+	// every declaration.
+	ErrorCodes map[string][]ErrorCodeFact
+	// QuireAccum maps function full names to the quire parameter
+	// indices they accumulate into.
+	QuireAccum map[string]*QuireAccumFact
+}
+
+// errorCodeNameRx matches the error-code constant naming convention.
+var errorCodeNameRx = regexp.MustCompile(`^[Cc]ode[A-Z0-9_]`)
+
+// quireAccumMethods are the accumulation entry points of the quire
+// API (internal/posit.Quire and any fixture type of the same shape).
+var quireAccumMethods = map[string]bool{
+	"AddPosit": true, "SubPosit": true, "AddProduct": true, "SubProduct": true,
+}
+
+// BuildFacts runs pass 1 over the given packages and returns the
+// index. It is pure analysis — no diagnostics are produced here.
+func BuildFacts(pkgs []*Package) *FactIndex {
+	idx := &FactIndex{
+		Structs:     map[string]*StructFact{},
+		StringLists: map[string]*StringListFact{},
+		ErrorCodes:  map[string][]ErrorCodeFact{},
+		QuireAccum:  map[string]*QuireAccumFact{},
+	}
+	for _, pkg := range pkgs {
+		pass := pkg.pass()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					idx.collectGenDecl(pass, d)
+				case *ast.FuncDecl:
+					idx.collectQuireAccum(pass, d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *FactIndex) collectGenDecl(pass *Pass, d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, sp := range d.Specs {
+			ts, ok := sp.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			sf := &StructFact{Pkg: pass.Path, Name: ts.Name.Name}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					sf.Fields = append(sf.Fields, FieldFact{Name: name.Name, Type: exprString(field.Type)})
+				}
+			}
+			idx.Structs[sf.Key()] = sf
+		}
+	case token.VAR:
+		for _, sp := range d.Specs {
+			vs, ok := sp.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+				continue
+			}
+			elems, ok := stringListLiteral(vs.Values[0])
+			if !ok {
+				continue
+			}
+			fact := &StringListFact{
+				Pkg: pass.Path, Name: vs.Names[0].Name, Elems: elems, pos: vs.Names[0].Pos(),
+			}
+			idx.StringLists[fact.Pkg+"."+fact.Name] = fact
+		}
+	case token.CONST:
+		for _, sp := range d.Specs {
+			vs, ok := sp.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if !errorCodeNameRx.MatchString(name.Name) {
+					continue
+				}
+				obj, ok := pass.Info.Defs[name].(*types.Const)
+				if !ok || obj.Val().Kind() != constant.String {
+					continue
+				}
+				val := constant.StringVal(obj.Val())
+				idx.ErrorCodes[val] = append(idx.ErrorCodes[val],
+					ErrorCodeFact{Pkg: pass.Path, Name: name.Name, Value: val})
+			}
+		}
+	}
+}
+
+// collectQuireAccum records functions that call a quire accumulation
+// method on one of their own parameters — helpers the quireguard rule
+// must treat as accumulation sites at every call site, in any package.
+func (idx *FactIndex) collectQuireAccum(pass *Pass, d *ast.FuncDecl) {
+	if d.Body == nil || d.Type.Params == nil {
+		return
+	}
+	params := map[types.Object]int{}
+	i := 0
+	for _, field := range d.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil && isQuireType(obj.Type()) {
+				params[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	accum := map[int]bool{}
+	ast.Inspect(d.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !quireAccumMethods[sel.Sel.Name] {
+			return true
+		}
+		if obj := rootIdentObject(pass, sel.X); obj != nil {
+			if pi, ok := params[obj]; ok {
+				accum[pi] = true
+			}
+		}
+		return true
+	})
+	if len(accum) == 0 {
+		return
+	}
+	fn, ok := pass.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	fact := &QuireAccumFact{Func: fn.FullName()}
+	for pi := range accum {
+		fact.Params = append(fact.Params, pi)
+	}
+	sort.Ints(fact.Params)
+	idx.QuireAccum[fact.Func] = fact
+}
+
+// Hash returns a deterministic digest of the index, used as a
+// cache-key ingredient: any fact change invalidates every package's
+// cached diagnostics, because rules may consume facts from anywhere.
+func (idx *FactIndex) Hash() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	writeSorted := func(keys []string, get func(string) interface{}) {
+		sort.Strings(keys)
+		for _, k := range keys {
+			_, _ = h.Write([]byte(k))
+			// Encoding into a hash never fails for these plain structs.
+			_ = enc.Encode(get(k))
+		}
+	}
+	var keys []string
+	for k := range idx.Structs {
+		keys = append(keys, k)
+	}
+	writeSorted(keys, func(k string) interface{} { return idx.Structs[k] })
+	keys = keys[:0]
+	for k := range idx.StringLists {
+		keys = append(keys, k)
+	}
+	writeSorted(keys, func(k string) interface{} { return idx.StringLists[k] })
+	keys = keys[:0]
+	for k := range idx.ErrorCodes {
+		keys = append(keys, k)
+	}
+	writeSorted(keys, func(k string) interface{} { return idx.ErrorCodes[k] })
+	keys = keys[:0]
+	for k := range idx.QuireAccum {
+		keys = append(keys, k)
+	}
+	writeSorted(keys, func(k string) interface{} { return idx.QuireAccum[k] })
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// HasErrorCode reports whether value is a registered stable code.
+func (idx *FactIndex) HasErrorCode(value string) bool {
+	_, ok := idx.ErrorCodes[value]
+	return ok
+}
+
+// StructIn returns the named struct fact declared in pkg, or, when pkg
+// has none of that name, the unique declaration elsewhere in the index
+// (nil when absent or ambiguous). The two-step lookup is what lets a
+// header registry and the struct it mirrors live in different packages.
+func (idx *FactIndex) StructIn(pkg, name string) *StructFact {
+	if sf, ok := idx.Structs[pkg+"."+name]; ok {
+		return sf
+	}
+	var found *StructFact
+	for _, sf := range idx.Structs {
+		if sf.Name == name {
+			if found != nil {
+				return nil // ambiguous across packages: refuse to guess
+			}
+			found = sf
+		}
+	}
+	return found
+}
+
+// stringListLiteral matches `[]string{"a", "b", ...}` with all-literal
+// elements, returning the unquoted values.
+func stringListLiteral(e ast.Expr) ([]string, bool) {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	if !ok {
+		return nil, false
+	}
+	at, ok := cl.Type.(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return nil, false
+	}
+	if id, ok := at.Elt.(*ast.Ident); !ok || id.Name != "string" {
+		return nil, false
+	}
+	elems := make([]string, 0, len(cl.Elts))
+	for _, el := range cl.Elts {
+		lit, ok := el.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return nil, false
+		}
+		elems = append(elems, strings.Trim(lit.Value, "`\""))
+	}
+	return elems, true
+}
+
+// isQuireType reports whether t (after pointer deref) is a named type
+// called Quire — the domain convention the quire rules key on, so the
+// analyzer recognises internal/posit.Quire and fixture doubles alike.
+func isQuireType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Quire"
+}
+
+// rootIdentObject resolves the base identifier of an expression chain
+// (q, q.field, (*q)) to its variable object, or nil.
+func rootIdentObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

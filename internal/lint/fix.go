@@ -1,0 +1,110 @@
+package lint
+
+// Autofix support: mechanical rules attach a SuggestedFix to their
+// diagnostics, and `positlint -fix` applies the edits in place. Only
+// rules whose fix is unambiguous carry one — errdrop (prepend the
+// explicit `_ = ` discard), pkgdoc and exportdoc (insert a TODO doc
+// stub that satisfies the rule and leaves a greppable marker for a
+// human to fill in). Judgement rules (floatcmp, narcheck, quireguard,
+// ...) never auto-fix: their resolution is a design decision.
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"positres/internal/atomicio"
+)
+
+// TextEdit is one byte-range replacement. File is absolute (not
+// module-relative like Diagnostic.Pos) so edits can be applied without
+// re-deriving the load root; [Start, End) are byte offsets into the
+// file as it was parsed, with Start == End meaning pure insertion.
+type TextEdit struct {
+	File  string `json:"file"`  // absolute path of the file to edit
+	Start int    `json:"start"` // byte offset of the first replaced byte
+	End   int    `json:"end"`   // byte offset one past the last replaced byte
+	New   string `json:"new"`   // replacement text
+}
+
+// SuggestedFix is a mechanical resolution for one diagnostic.
+type SuggestedFix struct {
+	Message string     `json:"message"` // one-line description of the edit
+	Edits   []TextEdit `json:"edits"`   // non-overlapping byte edits
+}
+
+// insertFix builds a pure-insertion SuggestedFix at the token
+// position pos, resolved to the absolute filename and byte offset as
+// parsed (deliberately not module-relativized: -fix edits real files).
+func (p *Pass) insertFix(pos token.Pos, message, insert string) *SuggestedFix {
+	position := p.Fset.Position(pos)
+	return &SuggestedFix{
+		Message: message,
+		Edits:   []TextEdit{{File: position.Filename, Start: position.Offset, End: position.Offset, New: insert}},
+	}
+}
+
+// ApplyFixes applies every SuggestedFix carried by diags, editing the
+// files atomically (temp + fsync + rename via internal/atomicio, the
+// same protocol the campaign artifacts use). Edits are applied
+// back-to-front per file so earlier offsets stay valid; overlapping
+// edits within a file are rejected. It returns the set of files
+// changed, sorted.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	perFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	var files []string
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var changed []string
+	for _, file := range files {
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start > edits[j].Start // back to front
+			}
+			return edits[i].End > edits[j].End
+		})
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return changed, fmt.Errorf("lint: fix %s: %w", file, err)
+		}
+		prevStart := len(data) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(data) {
+				return changed, fmt.Errorf("lint: fix %s: edit range [%d,%d) out of bounds", file, e.Start, e.End)
+			}
+			if e.End > prevStart {
+				return changed, fmt.Errorf("lint: fix %s: overlapping edits at offset %d", file, e.Start)
+			}
+			prevStart = e.Start
+			data = append(data[:e.Start], append([]byte(e.New), data[e.End:]...)...)
+		}
+		if err := atomicio.WriteFileBytes(file, data); err != nil {
+			return changed, fmt.Errorf("lint: fix %s: %w", file, err)
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}
+
+// Fixable reports how many of diags carry a SuggestedFix.
+func Fixable(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -5,7 +5,16 @@
 // that substrate depends on (no raw float equality in analysis code,
 // no out-of-range shifts in bit manipulation, no unchecked NaR on
 // error-metric paths, no lock copies or racy WaitGroup use, no leaky
-// goroutine loops, no silently dropped errors).
+// goroutine loops, no silently dropped errors, no quire accumulation
+// without an overflow/NaR check, no CSV-schema or error-code drift).
+//
+// The engine runs in two passes. Pass 1 (facts.go) builds a repo-wide
+// fact index — exported struct field sets, string-literal registries,
+// error-code constants, call-graph edges into quire accumulation APIs
+// — so pass 2's rules can enforce invariants that span declarations
+// and packages. Pass 2 runs the rules per package, in parallel, with
+// an optional content-hash diagnostic cache (cache.go) so `make lint`
+// stays fast as the repo grows.
 //
 // The analyzer is built only on the standard library (go/parser,
 // go/ast, go/token, go/types, go/importer) — the module has zero
@@ -19,8 +28,10 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a position, the rule that fired, and a
@@ -28,9 +39,12 @@ import (
 // root (or the load directory for ad-hoc loads) so output and
 // suppression matching are machine-independent.
 type Diagnostic struct {
-	Pos     token.Position // finding location, Filename module-relative
-	RuleID  string         // stable rule identifier, e.g. "floatcmp"
-	Message string         // human-readable explanation
+	Pos     token.Position `json:"pos"`     // finding location, Filename module-relative
+	RuleID  string         `json:"rule"`    // stable rule identifier, e.g. "floatcmp"
+	Message string         `json:"message"` // human-readable explanation
+	// Fix, when non-nil, is a mechanical edit that resolves the
+	// diagnostic (applied by `positlint -fix`; see fix.go).
+	Fix *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the diagnostic in the canonical
@@ -58,6 +72,10 @@ type Pass struct {
 	Pkg   *types.Package // type-checked package object
 	Info  *types.Info    // types, uses and defs of every expression
 	Files []*ast.File    // parsed non-test files
+	// Facts is the repo-wide fact index built over every package of
+	// the run (pass 1), letting rules see across package boundaries.
+	// Never nil when invoked through Runner.Run.
+	Facts *FactIndex
 
 	rel func(token.Position) token.Position
 }
@@ -92,6 +110,10 @@ func AllRules() []Rule {
 		NewAtomicWrite(),
 		NewPkgDoc(),
 		NewExportDoc(),
+		NewQuireGuard(),
+		NewCSVHeader(),
+		NewBudgetScale(),
+		NewErrCode(),
 	}
 }
 
@@ -114,32 +136,105 @@ func RuleByID(id string) (Rule, bool) {
 var ignoreRx = regexp.MustCompile(`^//positlint:ignore\s+([\w*,-]+)(\s+\S.*)?$`)
 
 // Runner executes a rule set over packages and filters suppressions.
+//
+// Run is two-pass: it first builds the repo-wide fact index over every
+// package it was handed (so rules see cross-package facts), then lints
+// the packages in parallel. With a non-nil Cache, a package whose file
+// contents, rule set and consumed facts are unchanged since the last
+// run returns its recorded diagnostics without re-analysis.
 type Runner struct {
 	Rules    []Rule        // rules to execute, in report order
 	Suppress *Suppressions // optional file-based suppressions
+	Cache    *Cache        // optional content-hash diagnostic cache
+	Jobs     int           // max concurrent packages; <=0 means GOMAXPROCS
 }
 
 // Run lints every package and returns the surviving diagnostics
 // sorted by file, line, column, rule.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	facts := BuildFacts(pkgs)
+	factsHash := ""
+	if r.Cache != nil {
+		factsHash = facts.Hash()
+	}
+	ruleIDs := make([]string, len(r.Rules))
+	for i, rule := range r.Rules {
+		ruleIDs[i] = rule.ID()
+	}
+
+	// Per-package parallelism: rules are stateless and the typed ASTs
+	// are read-only after load, so packages lint independently.
+	jobs := r.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	results := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = r.lintPackage(pkgs[i], facts, factsHash, ruleIDs)
+		}(i)
+	}
+	wg.Wait()
+
+	// The file-based suppressions are applied after the cache layer:
+	// cached entries hold the full (post-inline-ignore) diagnostic set,
+	// so editing .positlint.suppress never requires re-analysis.
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		pass := pkg.pass()
-		ignores, bad := inlineIgnores(pass)
-		out = append(out, bad...)
-		for _, rule := range r.Rules {
-			for _, d := range rule.Check(pass) {
-				if ignores.match(d) {
-					continue
-				}
-				if r.Suppress != nil && r.Suppress.Match(d) {
-					continue
-				}
-				out = append(out, d)
+	for _, diags := range results {
+		for _, d := range diags {
+			if r.Suppress != nil && r.Suppress.Match(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// lintPackage produces one package's diagnostics (after inline-ignore
+// filtering, before file-based suppression), consulting the cache.
+func (r *Runner) lintPackage(pkg *Package, facts *FactIndex, factsHash string, ruleIDs []string) []Diagnostic {
+	var key string
+	if r.Cache != nil {
+		if k, err := r.Cache.key(pkg, ruleIDs, factsHash); err == nil {
+			key = k
+			if diags, ok := r.Cache.get(key); ok {
+				return diags
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
+	pass := pkg.pass()
+	pass.Facts = facts
+	entries, bad := inlineIgnores(pass)
+	ignores := buildIgnoreSet(entries)
+	out := append([]Diagnostic(nil), bad...)
+	for _, rule := range r.Rules {
+		for _, d := range rule.Check(pass) {
+			if ignores.match(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sortDiagnostics(out)
+	if r.Cache != nil && key != "" {
+		r.Cache.put(key, out)
+	}
+	return out
+}
+
+// sortDiagnostics orders by file, line, column, rule. The sort is
+// stable so that a rule emitting several diagnostics at one position
+// keeps its own emission order.
+func sortDiagnostics(out []Diagnostic) {
+	sort.SliceStable(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
@@ -152,7 +247,15 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 		}
 		return a.RuleID < b.RuleID
 	})
-	return out
+}
+
+// ignoreEntry is one well-formed //positlint:ignore directive: where
+// it sits and which rules it waives. Kept as a list (not just the
+// line-indexed set) so -prune can ask whether each directive still
+// suppresses anything.
+type ignoreEntry struct {
+	pos   token.Position // directive position, module-relative
+	rules []string       // rule IDs ("*" = all)
 }
 
 // ignoreSet records inline //positlint:ignore comments per file line.
@@ -173,11 +276,42 @@ func (s ignoreSet) match(d Diagnostic) bool {
 	return false
 }
 
+// buildIgnoreSet indexes directives by file and line for matching.
+func buildIgnoreSet(entries []ignoreEntry) ignoreSet {
+	set := ignoreSet{}
+	for _, e := range entries {
+		lines := set[e.pos.Filename]
+		if lines == nil {
+			lines = map[int][]string{}
+			set[e.pos.Filename] = lines
+		}
+		lines[e.pos.Line] = append(lines[e.pos.Line], e.rules...)
+	}
+	return set
+}
+
+// matches reports whether the directive covers d: same file, on the
+// flagged line or the line directly above it, rule listed or "*".
+func (e ignoreEntry) matches(d Diagnostic) bool {
+	if e.pos.Filename != d.Pos.Filename {
+		return false
+	}
+	if e.pos.Line != d.Pos.Line && e.pos.Line != d.Pos.Line-1 {
+		return false
+	}
+	for _, id := range e.rules {
+		if id == "*" || id == d.RuleID {
+			return true
+		}
+	}
+	return false
+}
+
 // inlineIgnores collects //positlint:ignore comments from a package.
 // Malformed ignores (no reason given) are returned as diagnostics so
 // suppressions stay self-documenting.
-func inlineIgnores(pass *Pass) (ignoreSet, []Diagnostic) {
-	set := ignoreSet{}
+func inlineIgnores(pass *Pass) ([]ignoreEntry, []Diagnostic) {
+	var entries []ignoreEntry
 	var bad []Diagnostic
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
@@ -199,16 +333,11 @@ func inlineIgnores(pass *Pass) (ignoreSet, []Diagnostic) {
 				if pass.rel != nil {
 					pos = pass.rel(pos)
 				}
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], strings.Split(m[1], ",")...)
+				entries = append(entries, ignoreEntry{pos: pos, rules: strings.Split(m[1], ",")})
 			}
 		}
 	}
-	return set, bad
+	return entries, bad
 }
 
 // malformedIgnore is the pseudo-rule behind directive hygiene

@@ -105,6 +105,10 @@ func TestCtxLoopFixture(t *testing.T)     { checkFixture(t, "ctxloop") }
 func TestErrDropFixture(t *testing.T)     { checkFixture(t, "errdrop") }
 func TestAtomicWriteFixture(t *testing.T) { checkFixture(t, "atomicwrite") }
 func TestPkgDocFixture(t *testing.T)      { checkFixture(t, "pkgdoc") }
+func TestQuireGuardFixture(t *testing.T)  { checkFixture(t, "quireguard") }
+func TestCSVHeaderFixture(t *testing.T)   { checkFixture(t, "csvheader") }
+func TestBudgetScaleFixture(t *testing.T) { checkFixture(t, "budgetscale") }
+func TestErrCodeFixture(t *testing.T)     { checkFixture(t, "errcode") }
 
 // TestExportDocFixture pins the exportdoc rule against its fixture
 // with an explicit table: the fixture cannot carry the usual trailing
@@ -169,6 +173,10 @@ func TestEndToEndAllRules(t *testing.T) {
 		{39, "shiftrange", "signed shift count n is unguarded"},
 		{40, "floatcmp", "float equality (==)"},
 		{50, "exportdoc", "exported field Report.Done has no doc comment"},
+		{61, "quireguard", "quire accumulation is never checked"},
+		{71, "csvheader", "rowHeader has 1 columns but Row has 2 fields"},
+		{81, "budgetscale", "misbudget hard-codes TrialsPerBit = 512"},
+		{92, "errcode", `error code "nope" is not in the stable code registry`},
 	}
 	if len(diags) != len(want) {
 		for _, d := range diags {
@@ -234,6 +242,57 @@ func TestSuppressionsFile(t *testing.T) {
 		if got := s.Match(c.d); got != c.want {
 			t.Errorf("case %d: Match(%v) = %v, want %v", i, c.d, got, c.want)
 		}
+	}
+}
+
+// TestSuppressionAfterRename pins the rename behaviour: an entry
+// carrying the old file path stops matching once the diagnostic
+// reports the new path. The entry does not silently widen — it goes
+// stale, and FindStale / -prune reports it for deletion.
+func TestSuppressionAfterRename(t *testing.T) {
+	s, err := ParseSuppressions("test", "floatcmp internal/core/oldname.go -- written before the rename")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diagnostic{Pos: pos("internal/core/oldname.go", 5), RuleID: "floatcmp"}
+	if !s.Match(d) {
+		t.Fatal("entry must match the pre-rename path")
+	}
+	d.Pos.Filename = "internal/core/newname.go"
+	if s.Match(d) {
+		t.Fatal("entry must not follow the file across a rename")
+	}
+	if stale := FindStale(nil, AllRules(), s); len(stale) != 1 || stale[0].Kind != "suppress" {
+		t.Fatalf("renamed-away entry not reported stale: %v", stale)
+	}
+}
+
+// TestExportDocGroupComment pins the group-comment edge case: one
+// leading comment above a run of fields documents only the first
+// field (go/doc's association), so the rest of the run is flagged.
+func TestExportDocGroupComment(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package p checks doc-comment association over a field run.
+package p
+
+// Limits is a bounds pair.
+type Limits struct {
+	// Both bounds are inclusive.
+	Lo int
+	Hi int
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := (&Runner{Rules: []Rule{NewExportDoc()}}).Run([]*Package{pkg})
+	if len(diags) != 1 || diags[0].Pos.Line != 8 ||
+		!strings.Contains(diags[0].Message, "exported field Limits.Hi") {
+		t.Fatalf("diags = %v, want exactly Limits.Hi at p.go:8", diags)
 	}
 }
 

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"strings"
 )
@@ -45,6 +46,9 @@ func (r *PkgDoc) Check(pass *Pass) []Diagnostic {
 			first, firstName = f, name
 		}
 	}
-	return []Diagnostic{pass.Diag(r, first.Package,
-		"package %s has no package doc comment on any file; document the package's purpose above one package clause", first.Name.Name)}
+	d := pass.Diag(r, first.Package,
+		"package %s has no package doc comment on any file; document the package's purpose above one package clause", first.Name.Name)
+	d.Fix = pass.insertFix(first.Package, "insert a package doc stub",
+		fmt.Sprintf("// Package %s TODO: describe this package's role in the pipeline.\n", first.Name.Name))
+	return []Diagnostic{d}
 }

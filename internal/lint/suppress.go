@@ -83,16 +83,24 @@ func LoadSuppressions(file string) (*Suppressions, error) {
 // Match reports whether d is covered by any entry.
 func (s *Suppressions) Match(d Diagnostic) bool {
 	for _, e := range s.Entries {
-		if e.Rule != "*" && e.Rule != d.RuleID {
-			continue
+		if e.Matches(d) {
+			return true
 		}
-		if e.Line != 0 && e.Line != d.Pos.Line {
-			continue
-		}
-		if ok, _ := path.Match(e.Path, d.Pos.Filename); !ok && e.Path != d.Pos.Filename {
-			continue
-		}
-		return true
 	}
 	return false
+}
+
+// Matches reports whether this single entry covers d — rule, optional
+// line pin, and path (exact or path.Match glob) all agree.
+func (e SuppressEntry) Matches(d Diagnostic) bool {
+	if e.Rule != "*" && e.Rule != d.RuleID {
+		return false
+	}
+	if e.Line != 0 && e.Line != d.Pos.Line {
+		return false
+	}
+	if ok, _ := path.Match(e.Path, d.Pos.Filename); !ok && e.Path != d.Pos.Filename {
+		return false
+	}
+	return true
 }

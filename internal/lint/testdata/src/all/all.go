@@ -49,3 +49,45 @@ type Report struct {
 	Total int
 	Done  int
 }
+
+// Quire mimics the posit accumulation API shape for quireguard.
+type Quire struct{ acc int64 }
+
+func (q *Quire) AddPosit(v int64) { q.acc += v }
+
+func leakQuire(xs []int64) {
+	q := &Quire{}
+	for _, v := range xs {
+		q.AddPosit(v)
+	}
+}
+
+// Row mirrors rowHeader, which is one column short.
+type Row struct {
+	Name string // row label
+	N    int    // sample count
+}
+
+var rowHeader = []string{"name"}
+
+// Budget is the knob set budgetscale watches for.
+type Budget struct {
+	TrialsPerBit int // fault-injection trials per bit
+}
+
+type cfg struct{ TrialsPerBit int }
+
+func misbudget(b Budget, c *cfg) {
+	c.TrialsPerBit = 512
+}
+
+const codeOK = "ok"
+
+type apiErr struct {
+	Code    string
+	Message string
+}
+
+func failure() apiErr {
+	return apiErr{Code: "nope", Message: "ad-hoc"}
+}

@@ -1,0 +1,61 @@
+// Package budgetscale exercises the budgetscale rule: code that is
+// handed a trial Budget must derive trial counts from it rather than
+// hard-coding them.
+package budgetscale
+
+// Budget is the knob set one --budget flag is supposed to drive.
+type Budget struct {
+	TrialsPerBit int // fault-injection trials per bit position
+	DatasetN     int // synthetic dataset size
+}
+
+type campaignCfg struct {
+	TrialsPerBit int
+	DatasetN     int
+	Seed         int64
+}
+
+type runner struct {
+	budget Budget
+}
+
+// fixedTrials receives a Budget and then pins TrialsPerBit anyway, so
+// scaling the budget leaves this path at its old resolution.
+func fixedTrials(b Budget) campaignCfg {
+	return campaignCfg{
+		TrialsPerBit: 4096, // want "fixedTrials hard-codes TrialsPerBit = 4096"
+		DatasetN:     b.DatasetN,
+	}
+}
+
+// tweak hard-codes through the assignment form.
+func tweak(b *Budget, cfg *campaignCfg) {
+	cfg.DatasetN = 512 // want "tweak hard-codes DatasetN = 512"
+}
+
+// build's receiver carries a Budget field, which activates the rule
+// for methods just like a parameter would.
+func (r *runner) build() campaignCfg {
+	cfg := campaignCfg{TrialsPerBit: 100} // want "build hard-codes TrialsPerBit = 100"
+	cfg.Seed = 42
+	return cfg
+}
+
+// scaled derives both knobs from the budget: clean.
+func scaled(b Budget) campaignCfg {
+	return campaignCfg{
+		TrialsPerBit: b.TrialsPerBit / 2,
+		DatasetN:     b.DatasetN,
+	}
+}
+
+// defaults uses the zero value, which means "use the default"
+// throughout the config types: clean.
+func defaults(b Budget) campaignCfg {
+	return campaignCfg{TrialsPerBit: 0, DatasetN: b.DatasetN}
+}
+
+// noBudget has no Budget in scope, so constants are fine here.
+func noBudget() campaignCfg {
+	return campaignCfg{TrialsPerBit: 256, DatasetN: 64}
+}

@@ -1,0 +1,67 @@
+// Package csvheader exercises the csvheader rule: a <x>Header string
+// registry must have one column per field of the struct <X> it
+// mirrors, and any function that maps between the two must touch
+// every field.
+package csvheader
+
+import (
+	"errors"
+	"strconv"
+)
+
+// Trial is the row shape trialHeader mirrors, column for column.
+type Trial struct {
+	Dataset string  // source dataset name
+	Bit     int     // flipped bit position
+	Delta   float64 // relative output error
+}
+
+var trialHeader = []string{"dataset", "bit", "delta"}
+
+// Result has three fields, but resultHeader below lists only two
+// columns — the drift the rule exists to catch.
+type Result struct {
+	Name string  // row label
+	Min  float64 // smallest observed value
+	Max  float64 // largest observed value
+}
+
+var resultHeader = []string{"name", "min"} // want "resultHeader has 2 columns but Result has 3 fields"
+
+// headerRow references only the registry: writing the header line is
+// not a field mapping, so the completeness check does not apply.
+func headerRow() []string { return trialHeader }
+
+// encodeTrial claims to map Trial onto trialHeader columns but never
+// serializes Delta — a row with a silently empty column.
+func encodeTrial(t Trial) []string {
+	row := make([]string, 0, len(trialHeader)) // want "encodeTrial maps trialHeader to Trial but never touches"
+	row = append(row, t.Dataset)
+	row = append(row, strconv.Itoa(t.Bit))
+	return row
+}
+
+// encodeTrialFull touches every field: clean.
+func encodeTrialFull(t Trial) []string {
+	row := make([]string, 0, len(trialHeader))
+	row = append(row, t.Dataset)
+	row = append(row, strconv.Itoa(t.Bit))
+	row = append(row, strconv.FormatFloat(t.Delta, 'g', -1, 64))
+	return row
+}
+
+// decodeRow fills every field through a keyed literal: clean.
+func decodeRow(rec []string) (Trial, error) {
+	if len(rec) != len(trialHeader) {
+		return Trial{}, errors.New("column count mismatch")
+	}
+	bit, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return Trial{}, err
+	}
+	delta, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return Trial{}, err
+	}
+	return Trial{Dataset: rec[0], Bit: bit, Delta: delta}, nil
+}

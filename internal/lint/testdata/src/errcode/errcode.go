@@ -1,0 +1,31 @@
+// Package errcode exercises the errcode rule: every constant string
+// flowing into an error-envelope code position must come from the
+// [Cc]ode* constant registry pass 1 collected.
+package errcode
+
+const (
+	codeBadRequest = "bad-request"
+	codeNotFound   = "not-found"
+)
+
+type apiError struct {
+	Code    string
+	Message string
+}
+
+func writeError(status int, code, message string) apiError {
+	_ = status
+	return apiError{Code: code, Message: message}
+}
+
+func handlers() []apiError {
+	good := apiError{Code: codeBadRequest, Message: "missing field"}
+	bad := apiError{Code: "oops", Message: "ad-hoc string"} // want "error code .oops. is not in the stable code registry"
+	ok := writeError(404, codeNotFound, "no such campaign")
+	mystery := writeError(400, "mystery", "never enumerated") // want "error code .mystery. passed to writeError is not in the stable code registry"
+	return []apiError{good, bad, ok, mystery}
+}
+
+func positional() apiError {
+	return apiError{"nope", "positional literal"} // want "error code .nope. is not in the stable code registry"
+}

@@ -1,0 +1,93 @@
+// Package quireguard exercises the quireguard rule: a locally created
+// quire that is accumulated into must be guarded (IsNaR) or rounded
+// out (ToPosit) before its value leaves the function.
+package quireguard
+
+type posit struct{ bits uint64 }
+
+// Quire mimics the internal/posit accumulation API shape the rule
+// keys on: a named type Quire with the four accumulation methods and
+// the guarded readout pair.
+type Quire struct {
+	acc int64
+	nar bool
+}
+
+func newQuire() *Quire { return &Quire{} }
+
+func (q *Quire) AddPosit(p posit)      { q.acc += int64(p.bits) }
+func (q *Quire) SubPosit(p posit)      { q.acc -= int64(p.bits) }
+func (q *Quire) AddProduct(a, b posit) { q.acc += int64(a.bits) * int64(b.bits) }
+func (q *Quire) IsNaR() bool           { return q.nar }
+func (q *Quire) ToPosit() posit        { return posit{bits: uint64(q.acc)} }
+func (q *Quire) Float64() float64      { return float64(q.acc) }
+
+// accumulate is recorded by pass 1 as accumulating into its quire
+// parameter; the parameter itself is exempt (the caller owns the
+// guard), but callers inherit the obligation at every call site.
+func accumulate(q *Quire, xs []posit) {
+	for _, x := range xs {
+		q.AddPosit(x)
+	}
+}
+
+// inspect neither accumulates nor guards: passing a quire here is an
+// escape, so the rule stays quiet and trusts the callee's caller.
+func inspect(q *Quire) {}
+
+var lastSum int64
+
+func leakDirect(xs []posit) {
+	q := newQuire()
+	for _, x := range xs {
+		q.AddPosit(x) // want "quire accumulation is never checked"
+	}
+	lastSum = q.acc
+}
+
+func leakViaHelper(xs []posit) {
+	q := newQuire()
+	accumulate(q, xs) // want "quire accumulation is never checked"
+	lastSum = q.acc
+}
+
+func leakReadout(xs []posit) float64 {
+	q := newQuire()
+	q.AddProduct(xs[0], xs[0])
+	return q.Float64() // want "quire read through Float64 with no IsNaR check"
+}
+
+func roundsOut(xs []posit) posit {
+	q := newQuire()
+	for _, x := range xs {
+		q.SubPosit(x)
+	}
+	return q.ToPosit()
+}
+
+func guardsHelper(xs []posit) bool {
+	q := newQuire()
+	accumulate(q, xs)
+	return q.IsNaR()
+}
+
+func guardedReadout(xs []posit) float64 {
+	q := newQuire()
+	q.AddPosit(xs[0])
+	if q.IsNaR() {
+		return 0
+	}
+	return q.Float64()
+}
+
+func escapesToCaller(xs []posit) *Quire {
+	q := newQuire()
+	q.AddPosit(xs[0])
+	return q
+}
+
+func handsOff(xs []posit) {
+	q := newQuire()
+	q.AddPosit(xs[0])
+	inspect(q)
+}

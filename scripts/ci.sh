@@ -38,12 +38,31 @@ $GO build ./...
 banner "positlint ./..."
 $GO run ./cmd/positlint ./...
 
+banner "positlint JSON artifact: artifacts/positlint.json"
+mkdir -p artifacts
+$GO run ./cmd/positlint -format json ./... >artifacts/positlint.json
+grep -q '"schema": "positlint-diag/v1"' artifacts/positlint.json || {
+	echo "positlint JSON artifact missing schema tag"
+	exit 1
+}
+echo "ok"
+
+banner "positlint -prune: suppressions must all still match something"
+$GO run ./cmd/positlint -prune ./...
+echo "no stale suppressions"
+
 banner "positlint self-test: fixtures must still trip the rules"
 if $GO run ./cmd/positlint ./internal/lint/testdata/src/all >/dev/null 2>&1; then
 	echo "positlint exited 0 on the all-rules fixture; the analyzer is broken"
 	exit 1
 fi
-echo "fixture trips as expected"
+for rule in quireguard csvheader budgetscale errcode; do
+	if $GO run ./cmd/positlint ./internal/lint/testdata/src/$rule >/dev/null 2>&1; then
+		echo "positlint exited 0 on the $rule fixture; the $rule rule is broken"
+		exit 1
+	fi
+done
+echo "fixtures trip as expected"
 
 banner "positbench smoke: benchmark driver runs and emits a valid baseline"
 bench_out=$(mktemp)
