@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint lint-fix lint-json lint-prune race ci resume-e2e serve-e2e cluster-e2e serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint lint-fix lint-json lint-prune race ci resume-e2e serve-e2e cluster-e2e chaos-e2e load load-smoke serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -65,6 +65,28 @@ serve-e2e:
 # a single-node run (docs/SERVICE.md "Coordinator / worker mode").
 cluster-e2e:
 	./scripts/cluster_e2e.sh
+
+# Chaos soak e2e: positload drives a coordinator + 2 workers with
+# chaos proxies on every hop, SIGKILLs and re-registers a worker
+# mid-soak, and requires the error budget to hold with CSVs
+# byte-identical to a serial baseline (docs/RESILIENCE.md "Chaos & load").
+chaos-e2e:
+	./scripts/load_e2e.sh
+
+# Self-contained 30s soak: in-process positserve behind an in-process
+# chaos proxy, moderate fault mix, artifact under artifacts/.
+load:
+	mkdir -p artifacts
+	$(GO) run ./cmd/positload -smoke -duration 30s -qps 100 -inject-workers 8 \
+		-chaos-latency-p 0.10 -chaos-5xx-p 0.05 -chaos-reset-p 0.02 \
+		-out artifacts/load.json
+
+# The quick CI variant of `load`: a few seconds, same fault mix.
+load-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/positload -smoke -duration 3s -qps 40 -inject-workers 4 \
+		-chaos-latency-p 0.10 -chaos-5xx-p 0.05 -chaos-reset-p 0.02 \
+		-out artifacts/load.json
 
 # Run the campaign service locally (docs/SERVICE.md has the API).
 serve:

@@ -1,0 +1,113 @@
+// Command chaosproxy is the standalone wrapper around internal/chaos:
+// a fault-injecting reverse proxy that sits in front of a positserve
+// instance (or between a coordinator and one worker) and injects
+// latency, TCP resets, truncated or corrupted response bodies, and
+// synthetic 5xx bursts on a deterministic seeded schedule
+// (-chaos-seed), so a failing run replays exactly.
+//
+// Usage:
+//
+//	chaosproxy -listen 127.0.0.1:0 -target http://127.0.0.1:8080 \
+//	    -chaos-seed 7 -chaos-5xx-p 0.05 -chaos-truncate-p 0.02
+//
+// The first stdout line is always "chaosproxy: listening on
+// http://HOST:PORT", so scripts can bind -listen 127.0.0.1:0 and
+// scrape the chosen port (the same contract as positserve).
+//
+// On SIGINT/SIGTERM the proxy stops and prints its fault tallies
+// (chaos.StatsSnapshot JSON) to stderr, then exits 0.
+//
+// Exit codes: 0 clean shutdown; 1 fatal error; 2 usage.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"positres/internal/chaos"
+)
+
+// Exit codes of the proxy process.
+const (
+	exitOK    = 0
+	exitFatal = 1
+	exitUsage = 2
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("chaosproxy", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+		target = fs.String("target", "", "upstream base URL to forward to (required)")
+		quiet  = fs.Bool("quiet", false, "suppress per-fault schedule lines on stderr")
+		faults chaos.Faults
+	)
+	faults.Register(fs)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -target is required")
+		fs.Usage()
+		return exitUsage
+	}
+
+	logf := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	proxy, err := chaos.New(*target, faults, logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		return exitFatal
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		return exitFatal
+	}
+	// First line of output, parsed by scripts/load_e2e.sh to learn the
+	// port when -listen ends in :0.
+	fmt.Printf("chaosproxy: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Handler: proxy, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-ctx.Done()
+		sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sdCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "chaosproxy: shutdown:", err)
+		}
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		return exitFatal
+	}
+
+	// Final tallies so a soak run can account for every injected fault.
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(proxy.Stats()); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy: stats:", err)
+	}
+	fmt.Println("chaosproxy: drained, exiting")
+	return exitOK
+}

@@ -1,0 +1,221 @@
+// Command positload is the chaos-and-soak traffic generator for
+// positserve: it drives sustained concurrent /v1/inject and
+// /v1/campaigns load at a configurable QPS, measures latency through
+// the same log₂ histograms the service exports (internal/telemetry),
+// asserts an error budget (max error rate, p99 ceiling), and writes a
+// schema-tagged positres-load/v1 JSON artifact. With -smoke it needs
+// no running server: an in-process positserve is stood up behind an
+// in-process fault-injecting chaos proxy (internal/chaos), so one
+// command proves the retry paths hold under deterministic hostility.
+//
+// Usage:
+//
+//	positload -target http://127.0.0.1:8080 -duration 30s -qps 50 \
+//	    -out artifacts/load.json
+//	positload -smoke -duration 5s -chaos-5xx-p 0.05 -chaos-corrupt-p 0.02
+//
+// docs/RESILIENCE.md ("Chaos & load") documents the fault matrix and
+// budget semantics; docs/SERVICE.md documents the artifact schema.
+//
+// Exit codes: 0 budget held; 1 fatal error; 2 usage; 3 budget
+// violated (the artifact, when requested, is still written).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"positres/internal/chaos"
+	"positres/internal/serve"
+	"positres/internal/spec"
+)
+
+// Exit codes of the load generator.
+const (
+	exitOK       = 0
+	exitFatal    = 1
+	exitUsage    = 2
+	exitViolated = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("positload", flag.ContinueOnError)
+	var (
+		target        = fs.String("target", "", "positserve base URL to load (required unless -smoke)")
+		duration      = fs.Duration("duration", 30*time.Second, "how long to sustain load")
+		qps           = fs.Float64("qps", 50, "target /v1/inject queries per second (aggregate)")
+		injectWorkers = fs.Int("inject-workers", 8, "concurrent inject requesters")
+		campaignLoops = fs.Int("campaign-loops", 1, "concurrent submit-poll-fetch campaign loops (0 disables)")
+		field         = fs.String("campaign-field", "CESM/CLOUD", "sdrbench field of the load campaign")
+		format        = fs.String("campaign-format", "posit8", "numfmt format of the load campaign")
+		campaignN     = fs.Int("campaign-n", 256, "field length of the load campaign")
+		trials        = fs.Int("campaign-trials", 2, "trials per bit of the load campaign")
+		injectFormats = fs.String("inject-formats", "posit8,posit16,posit32,ieee32", "comma-separated formats the inject load draws from")
+		seed          = fs.Uint64("seed", 1, "PRNG seed for generated inject values (deterministic per worker)")
+		maxErrorRate  = fs.Float64("max-error-rate", 0.01, "error budget: max fraction of failed operations")
+		maxP99        = fs.Duration("max-p99", 0, "error budget: inject p99 latency ceiling (0 = unchecked)")
+		out           = fs.String("out", "", "write the positres-load/v1 JSON artifact here")
+		campaignOut   = fs.String("campaign-out", "", "directory to publish final campaign CSVs into (for byte-comparison)")
+		retryAttempts = fs.Int("retry-attempts", 4, "client retry budget per idempotent request")
+		retryBase     = fs.Duration("retry-base", 100*time.Millisecond, "client retry backoff base delay")
+		smoke         = fs.Bool("smoke", false, "self-contained run: in-process positserve behind an in-process chaos proxy")
+		faults        chaos.Faults
+	)
+	faults.Register(fs)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	if *target == "" && !*smoke {
+		fmt.Fprintln(os.Stderr, "positload: -target is required (or use -smoke)")
+		fs.Usage()
+		return exitUsage
+	}
+	if *target != "" && *smoke {
+		fmt.Fprintln(os.Stderr, "positload: -target and -smoke are mutually exclusive")
+		return exitUsage
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var proxy *chaos.Proxy
+	if *smoke {
+		sm, err := startSmoke(ctx, faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "positload:", err)
+			return exitFatal
+		}
+		defer sm.shutdown()
+		*target = sm.proxyURL
+		proxy = sm.proxy
+		fmt.Printf("positload: smoke stack up (positserve %s behind chaos proxy %s)\n", sm.serveURL, sm.proxyURL)
+	}
+
+	cfg := loadConfig{
+		Client: serve.NewClient(*target, &http.Client{Timeout: 30 * time.Second}).
+			WithRetry(serve.RetryPolicy{MaxAttempts: *retryAttempts, BaseDelay: *retryBase}),
+		Target:        *target,
+		Duration:      *duration,
+		QPS:           *qps,
+		InjectWorkers: *injectWorkers,
+		CampaignLoops: *campaignLoops,
+		Campaign: spec.CampaignSpec{
+			Fields: []string{*field}, Formats: []string{*format},
+			N: *campaignN, TrialsPerBit: *trials, Seed: 7,
+		},
+		InjectFormats: strings.Split(*injectFormats, ","),
+		Seed:          *seed,
+		MaxErrorRate:  *maxErrorRate,
+		MaxP99:        *maxP99,
+		CampaignOut:   *campaignOut,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "positload: "+format+"\n", args...)
+		},
+	}
+
+	art, err := runLoad(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "positload:", err)
+		return exitFatal
+	}
+	if proxy != nil {
+		st := proxy.Stats()
+		art.Chaos = &st
+	}
+	if *out != "" {
+		if err := art.write(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "positload:", err)
+			return exitFatal
+		}
+		fmt.Printf("positload: artifact written to %s\n", *out)
+	}
+	art.print(os.Stdout)
+	if len(art.Budget.Violations) > 0 {
+		return exitViolated
+	}
+	return exitOK
+}
+
+// smokeStack is the in-process positserve + chaos proxy behind -smoke.
+type smokeStack struct {
+	serveURL string
+	proxyURL string
+	proxy    *chaos.Proxy
+	shutdown func()
+}
+
+// startSmoke stands the stack up on loopback ports: a positserve with
+// a throwaway data dir, fronted by a chaos proxy with the -chaos-*
+// fault schedule. The caller loads the proxy URL.
+func startSmoke(ctx context.Context, faults chaos.Faults) (*smokeStack, error) {
+	dir, err := os.MkdirTemp("", "positload-smoke-*")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(serve.Config{DataDir: dir, QueueDepth: 8, JobWorkers: 2})
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	srv.Start(sctx)
+
+	serveLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	serveHS := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := serveHS.Serve(serveLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "positload: smoke serve:", err)
+		}
+	}()
+	serveURL := "http://" + serveLn.Addr().String()
+
+	proxy, err := chaos.New(serveURL, faults, nil)
+	if err != nil {
+		cancel()
+		_ = serveHS.Close()
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	proxyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		_ = serveHS.Close()
+		_ = os.RemoveAll(dir)
+		return nil, err
+	}
+	proxyHS := &http.Server{Handler: proxy, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := proxyHS.Serve(proxyLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "positload: smoke proxy:", err)
+		}
+	}()
+
+	return &smokeStack{
+		serveURL: serveURL,
+		proxyURL: "http://" + proxyLn.Addr().String(),
+		proxy:    proxy,
+		shutdown: func() {
+			_ = proxyHS.Close()
+			_ = serveHS.Close()
+			cancel()
+			srv.Wait()
+			_ = os.RemoveAll(dir)
+		},
+	}, nil
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"positres/internal/chaos"
+	"positres/internal/serve"
+	"positres/internal/spec"
+)
+
+// newStack stands up an in-process positserve behind a chaos proxy
+// and returns the proxy URL to load.
+func newStack(t *testing.T, faults chaos.Faults) string {
+	t.Helper()
+	srv, err := serve.New(serve.Config{DataDir: t.TempDir(), QueueDepth: 8, JobWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv.Start(ctx)
+	sts := httptest.NewServer(srv.Handler())
+	p, err := chaos.New(sts.URL, faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(p)
+	t.Cleanup(func() {
+		pts.Close()
+		sts.Close()
+		cancel()
+		srv.Wait()
+	})
+	return pts.URL
+}
+
+// loadCfg is a short, low-rate config against target.
+func loadCfg(t *testing.T, target string) loadConfig {
+	t.Helper()
+	return loadConfig{
+		Client: serve.NewClient(target, nil).
+			WithRetry(serve.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond}),
+		Target:        target,
+		Duration:      1500 * time.Millisecond,
+		QPS:           40,
+		InjectWorkers: 4,
+		CampaignLoops: 1,
+		Campaign: spec.CampaignSpec{
+			Fields: []string{"CESM/CLOUD"}, Formats: []string{"posit8"},
+			N: 256, TrialsPerBit: 2, Seed: 7,
+		},
+		InjectFormats: []string{"posit8", "posit16", "ieee32"},
+		Seed:          1,
+		MaxErrorRate:  0.02,
+		Logf:          t.Logf,
+	}
+}
+
+func TestRunLoadCleanBudgetHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	target := newStack(t, chaos.Faults{})
+	cfg := loadCfg(t, target)
+	cfg.CampaignOut = t.TempDir()
+
+	art, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != artifactSchema {
+		t.Errorf("schema = %q, want %q", art.Schema, artifactSchema)
+	}
+	if art.Inject.Requests == 0 {
+		t.Fatal("no inject load generated")
+	}
+	if art.Inject.Errors != 0 {
+		t.Errorf("clean run had %d inject errors", art.Inject.Errors)
+	}
+	if art.Campaigns.Completed == 0 {
+		t.Error("no campaign completed in a clean run")
+	}
+	if len(art.Budget.Violations) != 0 {
+		t.Errorf("clean run violated budget: %v", art.Budget.Violations)
+	}
+	if art.Inject.P99NS <= 0 || art.Inject.P99NS < art.Inject.P50NS {
+		t.Errorf("quantiles inconsistent: p50 %d p99 %d", art.Inject.P50NS, art.Inject.P99NS)
+	}
+	// The fetched campaign CSV landed under CampaignOut.
+	csv := filepath.Join(cfg.CampaignOut, "CESM_CLOUD_posit8.csv")
+	if st, err := os.Stat(csv); err != nil || st.Size() == 0 {
+		t.Errorf("campaign CSV not published: %v", err)
+	}
+}
+
+func TestRunLoadSurvivesChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	// Retryable faults only: the hardened client must absorb them all
+	// within budget. (Body corruption of campaign CSVs is exercised in
+	// the serve and e2e suites.)
+	target := newStack(t, chaos.Faults{Seed: 11, Error5xxP: 0.10, ResetP: 0.05})
+	cfg := loadCfg(t, target)
+	cfg.MaxErrorRate = 0.02
+
+	art, err := runLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Inject.Requests == 0 {
+		t.Fatal("no inject load generated")
+	}
+	if len(art.Budget.Violations) != 0 {
+		t.Errorf("budget violated under retryable chaos: %v (errors %d/%d)",
+			art.Budget.Violations, art.Inject.Errors, art.Inject.Requests)
+	}
+}
+
+func TestEvalBudget(t *testing.T) {
+	cfg := loadConfig{MaxErrorRate: 0.05, MaxP99: 100 * time.Millisecond}
+	art := &artifact{
+		Inject:    endpointReport{Requests: 90, Errors: 9, P99NS: int64(200 * time.Millisecond)},
+		Campaigns: campaignReport{Submitted: 10, Failed: 1},
+	}
+	b := evalBudget(cfg, art)
+	if len(b.Violations) != 2 {
+		t.Fatalf("violations = %v, want error-rate and p99 breaches", b.Violations)
+	}
+	if !strings.Contains(b.Violations[0], "error rate") || !strings.Contains(b.Violations[1], "p99") {
+		t.Errorf("violation texts: %v", b.Violations)
+	}
+	if b.ErrorRate != 0.1 {
+		t.Errorf("error rate = %v, want 0.1", b.ErrorRate)
+	}
+
+	// Within budget: no violations.
+	art.Inject.Errors, art.Campaigns.Failed = 0, 0
+	art.Inject.P99NS = int64(50 * time.Millisecond)
+	if b := evalBudget(cfg, art); len(b.Violations) != 0 {
+		t.Errorf("clean tallies still violated: %v", b.Violations)
+	}
+
+	// Zero operations is itself a violation (the target never answered).
+	empty := evalBudget(cfg, &artifact{})
+	if len(empty.Violations) == 0 {
+		t.Error("zero-operation run passed the budget")
+	}
+}
+
+func TestArtifactWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "load.json")
+	art := &artifact{Schema: artifactSchema, Target: "http://x", TargetQPS: 5}
+	if err := art.write(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back artifact
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if back.Schema != artifactSchema {
+		t.Errorf("schema = %q, want %q", back.Schema, artifactSchema)
+	}
+}

@@ -4,11 +4,17 @@ package positres_test
 // would, checking output shape and exit behaviour.
 
 import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTool compiles a cmd into a temp dir once per test run.
@@ -143,6 +149,96 @@ func TestCLIPositreport(t *testing.T) {
 	// Unknown figure exits nonzero.
 	if _, err := run(t, bin, "-fig", "99"); err == nil {
 		t.Error("unknown figure should fail")
+	}
+}
+
+func TestCLIPositloadSmoke(t *testing.T) {
+	bin := buildTool(t, "positload")
+	art := filepath.Join(t.TempDir(), "load.json")
+	out, err := run(t, bin, "-smoke", "-duration", "2s", "-qps", "30",
+		"-inject-workers", "4", "-campaign-n", "256", "-campaign-trials", "2",
+		"-chaos-seed", "3", "-chaos-5xx-p", "0.05", "-out", art)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"smoke stack up", "BUDGET OK", "chaos injected"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(art)
+	if err != nil || !bytes.Contains(raw, []byte(`"positres-load/v1"`)) {
+		t.Errorf("artifact: %v\n%s", err, raw)
+	}
+	// -target and -smoke are mutually exclusive; neither is also wrong.
+	if _, err := run(t, bin, "-smoke", "-target", "http://x"); err == nil {
+		t.Error("-smoke with -target should fail")
+	}
+	if _, err := run(t, bin); err == nil {
+		t.Error("no target should fail")
+	}
+}
+
+func TestCLIChaosproxy(t *testing.T) {
+	bin := buildTool(t, "chaosproxy")
+	// Missing -target exits nonzero.
+	if _, err := run(t, bin); err == nil {
+		t.Error("missing -target should fail")
+	}
+
+	// A proxy to a dead upstream starts, answers 502, and drains with
+	// a stats dump on SIGTERM.
+	cmd := exec.Command(bin, "-target", "http://127.0.0.1:1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	rd := bufio.NewReader(stdout)
+	line, err := rd.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "chaosproxy: listening on http://") {
+		t.Fatalf("banner %q: %v", line, err)
+	}
+	url := strings.TrimSpace(strings.TrimPrefix(line, "chaosproxy: listening on "))
+	var rest bytes.Buffer
+	restDone := make(chan struct{})
+	go func() { defer close(restDone); _, _ = io.Copy(&rest, rd) }()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("dead upstream: got %d, want 502", resp.StatusCode)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("exit after SIGTERM: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("chaosproxy did not drain after SIGTERM")
+	}
+	<-restDone
+	if !strings.Contains(stderr.String(), `"upstream_errors": 1`) {
+		t.Errorf("stderr missing stats dump:\n%s", stderr.String())
+	}
+	if !strings.Contains(rest.String(), "drained, exiting") {
+		t.Errorf("stdout missing drain line:\n%s", rest.String())
 	}
 }
 

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allFaults is a schedule where every probability is in play.
+func allFaults() Faults {
+	return Faults{
+		Seed:       42,
+		LatencyP:   0.25,
+		LatencyMin: time.Millisecond,
+		LatencyMax: 5 * time.Millisecond,
+		ResetP:     0.1,
+		Error5xxP:  0.1,
+		TruncateP:  0.1,
+		CorruptP:   0.1,
+	}
+}
+
+// TestScheduleDeterministic: the fault plan is a pure function of
+// (seed, seq) — the property that makes a chaos run replayable.
+func TestScheduleDeterministic(t *testing.T) {
+	f := allFaults()
+	for seq := uint64(1); seq <= 500; seq++ {
+		a, b := f.decide(seq), f.decide(seq)
+		if a != b {
+			t.Fatalf("decide(%d) not deterministic: %+v vs %+v", seq, a, b)
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	g := f
+	g.Seed = 43
+	same := 0
+	for seq := uint64(1); seq <= 500; seq++ {
+		if f.decide(seq) == g.decide(seq) {
+			same++
+		}
+	}
+	if same == 500 {
+		t.Fatal("seeds 42 and 43 produced identical 500-request schedules")
+	}
+}
+
+// TestScheduleStableAcrossTuning: changing one fault's probability
+// must not shift which requests draw the other faults (every random
+// draw happens unconditionally).
+func TestScheduleStableAcrossTuning(t *testing.T) {
+	f := allFaults()
+	g := f
+	g.Error5xxP = 0 // tune one knob
+	for seq := uint64(1); seq <= 500; seq++ {
+		df, dg := f.decide(seq), g.decide(seq)
+		if df.mode == mode5xx {
+			if dg.mode != modeNone && dg.mode != df.mode {
+				// With 5xx off this request may fall through to a
+				// lower-precedence fault; that is expected.
+				continue
+			}
+			continue
+		}
+		if df.mode != dg.mode || df.latency != dg.latency {
+			t.Fatalf("seq %d: plan changed from %+v to %+v when only 5xx rate was tuned", seq, df, dg)
+		}
+	}
+}
+
+// newBackend returns an httptest server echoing a fixed body with a
+// trailer carrying its byte count, mimicking the shard CSV protocol.
+func newBackend(t *testing.T, body []byte) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Trailer", "X-Test-Len")
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(body); err != nil {
+			t.Logf("backend write: %v", err)
+		}
+		w.Header().Set("X-Test-Len", fmt.Sprint(len(body)))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newProxy mounts a Proxy over the backend and returns its base URL.
+func newProxy(t *testing.T, backend string, f Faults) string {
+	t.Helper()
+	p, err := New(backend, f, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestTransparentPassThrough: with no faults, body, status and the
+// trailer all survive the hop byte for byte.
+func TestTransparentPassThrough(t *testing.T) {
+	body := bytes.Repeat([]byte("posit trial row\n"), 512)
+	backend := newBackend(t, body)
+	base := newProxy(t, backend.URL, Faults{})
+
+	resp, err := http.Get(base + "/v1/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body changed through transparent proxy: %d bytes vs %d", len(got), len(body))
+	}
+	if tl := resp.Trailer.Get("X-Test-Len"); tl != fmt.Sprint(len(body)) {
+		t.Fatalf("trailer lost through proxy: got %q", tl)
+	}
+}
+
+// TestSynthetic5xx: with Error5xxP=1 every request is answered 5xx
+// without touching the upstream.
+func TestSynthetic5xx(t *testing.T) {
+	backend := newBackend(t, []byte("never served"))
+	base := newProxy(t, backend.URL, Faults{Seed: 7, Error5xxP: 1})
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(base + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode < 500 || resp.StatusCode > 599 {
+			t.Fatalf("status %d, want 5xx", resp.StatusCode)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+		if !strings.Contains(string(raw), "chaos") {
+			t.Fatalf("synthetic body %q does not identify itself", raw)
+		}
+	}
+}
+
+// TestReset: with ResetP=1 the client sees a transport error, not an
+// HTTP response.
+func TestReset(t *testing.T) {
+	backend := newBackend(t, []byte("never served"))
+	base := newProxy(t, backend.URL, Faults{Seed: 7, ResetP: 1})
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(base + "/x")
+	if err == nil {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Error(cerr)
+		}
+		t.Fatalf("reset request produced a response: %d", resp.StatusCode)
+	}
+}
+
+// TestTruncate: with TruncateP=1 the body read fails (or comes up
+// short) and the trailer never arrives — exactly what the shard
+// integrity check must catch.
+func TestTruncate(t *testing.T) {
+	body := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB >> max cutAt
+	backend := newBackend(t, body)
+	base := newProxy(t, backend.URL, Faults{Seed: 7, TruncateP: 1})
+	resp, err := http.Get(base + "/x")
+	if err != nil {
+		return // connection died before headers: also a truncation
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Logf("close after truncation: %v", err)
+		}
+	}()
+	got, err := io.ReadAll(resp.Body)
+	if err == nil && len(got) == len(body) {
+		t.Fatalf("full %d-byte body survived a forced truncation", len(body))
+	}
+	if resp.Trailer.Get("X-Test-Len") != "" {
+		t.Fatal("integrity trailer survived a truncated body")
+	}
+}
+
+// TestCorrupt: with CorruptP=1 the body keeps its length but differs
+// in exactly one byte.
+func TestCorrupt(t *testing.T) {
+	body := bytes.Repeat([]byte("0123456789abcdef"), 4096)
+	backend := newBackend(t, body)
+	base := newProxy(t, backend.URL, Faults{Seed: 7, CorruptP: 1})
+	resp, err := http.Get(base + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("corruption changed body length: %d vs %d", len(got), len(body))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestLatency: with LatencyP=1 and a fixed window the request takes at
+// least LatencyMin.
+func TestLatency(t *testing.T) {
+	backend := newBackend(t, []byte("ok"))
+	base := newProxy(t, backend.URL, Faults{
+		Seed: 7, LatencyP: 1, LatencyMin: 30 * time.Millisecond, LatencyMax: 40 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, err := http.Get(base + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Error(err)
+	}
+	if took := time.Since(start); took < 30*time.Millisecond {
+		t.Fatalf("request took %v, want >= 30ms of injected latency", took)
+	}
+}
+
+// TestStats: tallies reflect the injected faults.
+func TestStats(t *testing.T) {
+	backend := newBackend(t, []byte("ok"))
+	p, err := New(backend.URL, Faults{Seed: 7, Error5xxP: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Error(err)
+		}
+	}
+	st := p.Stats()
+	if st.Requests != 3 || st.Synthetic5xx != 3 || st.Forwarded != 0 {
+		t.Fatalf("stats %+v, want 3 requests / 3 synthetic / 0 forwarded", st)
+	}
+}
+
+// TestBadTarget: a relative target is rejected up front.
+func TestBadTarget(t *testing.T) {
+	if _, err := New("not-a-url", Faults{}, nil); err == nil {
+		t.Fatal("relative target accepted")
+	}
+}

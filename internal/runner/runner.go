@@ -29,7 +29,10 @@ package runner
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -451,6 +454,28 @@ func Backoff(base time.Duration, attempt int) time.Duration {
 		}
 	}
 	return d
+}
+
+// JitteredBackoff is Backoff with a bounded, deterministic jitter: the
+// delay is scaled by a factor in [0.75, 1.25) derived from an FNV-1a
+// hash of (key, attempt). The coordinator's dispatcher uses it for
+// worker cooldowns so a fleet of workers failed by the same event
+// (one dead peer, one chaos burst) does not re-dispatch in lockstep —
+// the thundering-herd guard. Because the factor is a pure function of
+// its inputs, a replayed run waits the same amount at every step, and
+// timing never feeds campaign results, so TestDistributedEquivalence
+// stays byte-identical.
+func JitteredBackoff(base time.Duration, attempt int, key string) time.Duration {
+	d := Backoff(base, attempt)
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, key)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(attempt))
+	_, _ = h.Write(buf[:])
+	// Map the hash to [0.75, 1.25): three quarters plus a half-unit
+	// fraction. 1<<53 keeps the conversion exact in float64.
+	frac := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	return time.Duration(float64(d) * (0.75 + frac/2))
 }
 
 // attemptShard runs one attempt under the watchdog. The attempt body

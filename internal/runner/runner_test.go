@@ -615,3 +615,33 @@ func mustCodecT(t *testing.T, name string) numfmt.Codec {
 	}
 	return c
 }
+
+// TestJitteredBackoff: the jittered schedule is deterministic for a
+// given (key, attempt), bounded to [0.75, 1.25) of the base schedule,
+// and actually spreads distinct keys apart (the thundering-herd guard).
+func TestJitteredBackoff(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 6; attempt++ {
+		plain := Backoff(base, attempt)
+		for _, key := range []string{"http://w1", "http://w2", "http://w3"} {
+			d1 := JitteredBackoff(base, attempt, key)
+			d2 := JitteredBackoff(base, attempt, key)
+			if d1 != d2 {
+				t.Fatalf("jitter not deterministic for (%s, %d): %v vs %v", key, attempt, d1, d2)
+			}
+			lo := time.Duration(float64(plain) * 0.75)
+			hi := time.Duration(float64(plain) * 1.25)
+			if d1 < lo || d1 >= hi {
+				t.Fatalf("jitter %v for (%s, %d) outside [%v, %v)", d1, key, attempt, lo, hi)
+			}
+		}
+	}
+	// Distinct keys must not collapse onto one delay.
+	seen := map[time.Duration]bool{}
+	for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[JitteredBackoff(base, 2, key)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("8 keys produced only %d distinct delays: %v", len(seen), seen)
+	}
+}

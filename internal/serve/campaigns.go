@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"positres/internal/spec"
@@ -91,7 +92,9 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		switch verr.Code {
 		case codeQueueFull:
 			status = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "5")
+			// Derived from live queue occupancy (not a flat constant):
+			// the same value is visible under "backpressure" in /metrics.
+			w.Header().Set("Retry-After", strconv.Itoa(s.jobs.retryAfterSeconds()))
 		case codeDraining:
 			status = http.StatusServiceUnavailable
 		case codeInternal:

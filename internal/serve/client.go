@@ -12,13 +12,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"positres/internal/core"
+	"positres/internal/runner"
 	"positres/internal/spec"
 )
 
@@ -31,6 +35,10 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error message.
 	Message string
+	// RetryAfter is the server's Retry-After hint (0 when absent); a
+	// 429 submission carries the backpressure-derived wait the server
+	// wants before the next attempt.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
@@ -38,17 +46,42 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("positserve: %d %s: %s", e.Status, e.Code, e.Message)
 }
 
+// RetryPolicy configures client-side retries. The zero value disables
+// them (every request is a single attempt), which keeps the
+// dispatcher's failure accounting and the runner's shard retry loop in
+// sole charge of shard re-dispatch. Load generators and interactive
+// callers opt in with Client.WithRetry.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per request; values
+	// below 2 mean a single attempt (no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff between attempts
+	// (default 100ms). The delay doubles per attempt with bounded
+	// deterministic jitter; a 429's Retry-After overrides it.
+	BaseDelay time.Duration
+	// Sleep replaces the context-aware pause in tests; nil uses a
+	// timer that aborts when ctx is cancelled.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// maxRetryAfterHonor caps how long the client will obediently wait on
+// a server's Retry-After before trying again — matching the runner's
+// 30s backoff ceiling, and defending against a bogus huge hint.
+const maxRetryAfterHonor = 30 * time.Second
+
 // Client talks to one positserve instance. The zero value is not
 // usable; construct with NewClient. Safe for concurrent use.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient returns a Client for the server at baseURL (scheme +
 // host, e.g. "http://127.0.0.1:8080"). A nil httpClient uses a
 // dedicated client with a 2-minute timeout — long enough for shard
-// computation, short enough to notice a hung worker.
+// computation, short enough to notice a hung worker. The client does
+// not retry; see WithRetry.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 2 * time.Minute}
@@ -56,25 +89,107 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
 
+// WithRetry returns a copy of the client that retries idempotent
+// requests (GETs, worker registration, inject queries) on transport
+// errors and 5xx answers, and retries 429 rejections for any method —
+// a queue_full submission creates no job, so resubmitting cannot
+// duplicate work — honoring the server's Retry-After. RunShard is
+// deliberately not retried here: the runner's watchdog-and-backoff
+// loop owns shard retries, and double-retrying would stack budgets.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
 // BaseURL returns the server address the client targets.
 func (c *Client) BaseURL() string { return c.base }
 
-// do issues one request and decodes either the expected JSON body
-// into out (when non-nil) or the error envelope into an *APIError.
-func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
-	var rd io.Reader
+// attempts returns the per-request attempt budget.
+func (c *Client) attempts() int {
+	if c.retry.MaxAttempts > 1 {
+		return c.retry.MaxAttempts
+	}
+	return 1
+}
+
+// retryable reports whether err warrants another attempt. Transport
+// errors and 5xx envelopes are retryable only for idempotent requests;
+// 429 is retryable for every method (the request was rejected before
+// any state changed).
+func retryable(err error, idempotent bool) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ae.Status == http.StatusTooManyRequests {
+			return true
+		}
+		return idempotent && ae.Status >= 500
+	}
+	return idempotent // transport-level failure; nothing reached the server intact
+}
+
+// pause sleeps before the next attempt: the server's Retry-After when
+// the error carries one (capped), else jittered exponential backoff
+// keyed on the request so concurrent retriers spread out.
+func (c *Client) pause(ctx context.Context, key string, attempt int, cause error) error {
+	d := runner.JitteredBackoff(c.retry.BaseDelay, attempt, key)
+	if c.retry.BaseDelay <= 0 {
+		d = runner.JitteredBackoff(100*time.Millisecond, attempt, key)
+	}
+	var ae *APIError
+	if errors.As(cause, &ae) && ae.RetryAfter > 0 {
+		d = ae.RetryAfter
+		if d > maxRetryAfterHonor {
+			d = maxRetryAfterHonor
+		}
+	}
+	if c.retry.Sleep != nil {
+		return c.retry.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do issues one request — retrying per the client's policy — and
+// decodes either the expected JSON body into out (when non-nil) or
+// the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}, idempotent bool) error {
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("positserve client: encode %s %s: %w", method, path, err)
 		}
+	}
+	attempts := c.attempts()
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, raw, out)
+		if err == nil || attempt >= attempts || !retryable(err, idempotent) {
+			return err
+		}
+		if serr := c.pause(ctx, method+" "+path, attempt, err); serr != nil {
+			return err // context died mid-backoff; the last real error explains more
+		}
+	}
+}
+
+// doOnce issues exactly one attempt of a JSON request.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, out interface{}) error {
+	var rd io.Reader
+	if raw != nil {
 		rd = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("positserve client: %s %s: %w", method, path, err)
 	}
-	if body != nil {
+	if raw != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -98,25 +213,36 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 // decodeAPIError turns a non-2xx response into an *APIError,
 // degrading gracefully when the body is not the JSON envelope.
 func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	var env errorBody
 	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code == "" {
-		return &APIError{Status: resp.StatusCode, Code: codeInternal,
-			Message: strings.TrimSpace(string(raw))}
+		ae.Code = codeInternal
+		ae.Message = strings.TrimSpace(string(raw))
+		return ae
 	}
-	return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	ae.Code = env.Error.Code
+	ae.Message = env.Error.Message
+	return ae
 }
 
 // SubmitCampaign submits a campaign (POST /v1/campaigns) and returns
 // the queued job's status. When wait is true the call blocks until
-// the campaign reaches a terminal state (?wait=1).
+// the campaign reaches a terminal state (?wait=1). Under a retry
+// policy only 429 rejections are retried — a submission that reached
+// the queue must not be duplicated.
 func (c *Client) SubmitCampaign(ctx context.Context, cs *spec.CampaignSpec, wait bool) (*CampaignStatus, error) {
 	path := "/v1/campaigns"
 	if wait {
 		path += "?wait=1"
 	}
 	var st CampaignStatus
-	if err := c.do(ctx, http.MethodPost, path, cs, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, cs, &st, false); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -125,44 +251,84 @@ func (c *Client) SubmitCampaign(ctx context.Context, cs *spec.CampaignSpec, wait
 // CampaignStatus polls one campaign (GET /v1/campaigns/{id}).
 func (c *Client) CampaignStatus(ctx context.Context, id string) (*CampaignStatus, error) {
 	var st CampaignStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
+// Inject runs one synchronous what-if flip (POST /v1/inject). The
+// query is pure, so it retries like a GET under a retry policy.
+func (c *Client) Inject(ctx context.Context, req InjectRequest) (*InjectResponse, error) {
+	var resp InjectResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/inject", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // CampaignResult streams one published result CSV
-// (GET /v1/campaigns/{id}/results) into w.
+// (GET /v1/campaigns/{id}/results) into w. Failed attempts are
+// retried (under a retry policy) only while nothing has been written
+// to w; once the copy starts, a mid-stream error is final — the
+// caller owns w and a blind rewrite could interleave two bodies.
 func (c *Client) CampaignResult(ctx context.Context, id, field, format string, w io.Writer) error {
 	path := fmt.Sprintf("/v1/campaigns/%s/results?field=%s&format=%s", id, field, format)
+	attempts := c.attempts()
+	for attempt := 1; ; attempt++ {
+		n, err := c.resultOnce(ctx, path, w)
+		if err == nil || n > 0 || attempt >= attempts || !retryable(err, true) {
+			return err
+		}
+		if serr := c.pause(ctx, "GET "+path, attempt, err); serr != nil {
+			return err
+		}
+	}
+}
+
+// resultOnce is one attempt of CampaignResult, reporting how many
+// body bytes reached w.
+func (c *Client) resultOnce(ctx context.Context, path string, w io.Writer) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return fmt.Errorf("positserve client: results: %w", err)
+		return 0, fmt.Errorf("positserve client: results: %w", err)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("positserve client: results: %w", err)
+		return 0, fmt.Errorf("positserve client: results: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return decodeAPIError(resp)
+		return 0, decodeAPIError(resp)
 	}
-	if _, err := io.Copy(w, resp.Body); err != nil {
-		return fmt.Errorf("positserve client: results: %w", err)
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		return n, fmt.Errorf("positserve client: results: %w", err)
 	}
-	return nil
+	return n, nil
 }
 
 // RegisterWorker announces a worker to a coordinator
-// (POST /v1/workers). Registration is idempotent.
+// (POST /v1/workers). Registration is idempotent, so a retry policy
+// applies in full.
 func (c *Client) RegisterWorker(ctx context.Context, workerURL string) error {
-	return c.do(ctx, http.MethodPost, "/v1/workers", workerRegistration{URL: workerURL}, nil)
+	return c.do(ctx, http.MethodPost, "/v1/workers", workerRegistration{URL: workerURL}, nil, true)
 }
 
 // RunShard executes one shard on a worker (POST /v1/shards) and
 // parses the text/csv trial stream it returns. The trials are exact:
 // the CSV encoding round-trips float64 bit patterns losslessly, which
 // is what makes distributed campaigns byte-identical to local ones.
+//
+// Two hardening measures guard the hop. The caller's context deadline
+// (the runner's shard watchdog) is forwarded in X-Positres-Deadline-Ms
+// so the worker abandons computation when the coordinator has already
+// given up. And when the worker sends the integrity envelope — the
+// X-Positres-Rows count header and X-Positres-Crc32 trailer — the
+// response is verified against both before any trial is returned: a
+// truncated or corrupted body is an error (and therefore a retryable
+// shard failure at the runner), never silently merged data. RunShard
+// itself never retries; the runner owns shard retry.
 func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, error) {
 	raw, err := json.Marshal(req)
 	if err != nil {
@@ -173,6 +339,11 @@ func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, 
 		return nil, fmt.Errorf("positserve client: shard: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(headerShardDeadline, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("positserve client: shard: %w", err)
@@ -181,17 +352,52 @@ func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, 
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeAPIError(resp)
 	}
-	trials, err := core.ReadTrialsCSV(resp.Body)
+
+	crc := crc32.NewIEEE()
+	body := io.TeeReader(resp.Body, crc)
+	trials, err := core.ReadTrialsCSV(body)
 	if err != nil {
 		return nil, fmt.Errorf("positserve client: shard response: %w", err)
 	}
+	if rowsHdr := resp.Header.Get(headerShardRows); rowsHdr != "" {
+		if err := verifyShardIntegrity(resp, crc, rowsHdr, len(trials), body); err != nil {
+			return nil, err
+		}
+	}
 	return trials, nil
+}
+
+// verifyShardIntegrity checks a shard response against its integrity
+// envelope: announced row count, and the CRC-32 trailer over the exact
+// body bytes. A missing trailer means the body was cut before its end
+// (truncation strips trailers), so it fails too.
+func verifyShardIntegrity(resp *http.Response, crc interface{ Sum32() uint32 }, rowsHdr string, gotRows int, body io.Reader) error {
+	wantRows, err := strconv.Atoi(rowsHdr)
+	if err != nil {
+		return fmt.Errorf("positserve client: shard rows header %q: %w", rowsHdr, err)
+	}
+	if gotRows != wantRows {
+		return fmt.Errorf("positserve client: shard truncated: %d of %d announced rows", gotRows, wantRows)
+	}
+	// Drain any bytes past the last CSV record so the CRC covers the
+	// whole body and the transport surfaces the trailer.
+	if _, err := io.Copy(io.Discard, body); err != nil {
+		return fmt.Errorf("positserve client: shard drain: %w", err)
+	}
+	want := resp.Trailer.Get(trailerShardCRC)
+	if want == "" {
+		return fmt.Errorf("positserve client: shard integrity trailer missing (body truncated in transit)")
+	}
+	if got := fmt.Sprintf("%08x", crc.Sum32()); got != strings.ToLower(want) {
+		return fmt.Errorf("positserve client: shard CSV corrupted: crc32 %s, announced %s", got, want)
+	}
+	return nil
 }
 
 // Health probes GET /healthz, returning the server's draining flag.
 func (c *Client) Health(ctx context.Context) (draining bool, err error) {
 	var h healthBody
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true); err != nil {
 		return false, err
 	}
 	return h.Draining, nil

@@ -171,7 +171,9 @@ func (d *dispatcher) dispatch(ctx context.Context, cs *spec.CampaignSpec, sh run
 	w.busy--
 	if err != nil {
 		w.fails++
-		w.backoffUntil = time.Now().Add(runner.Backoff(d.retryBase, w.fails))
+		// Jittered so workers failed by one event (a dead peer, a chaos
+		// burst) do not all re-enter rotation on the same tick.
+		w.backoffUntil = time.Now().Add(runner.JitteredBackoff(d.retryBase, w.fails, w.url))
 		d.prevHolder[sh.ID()] = w.url
 	} else {
 		w.fails = 0

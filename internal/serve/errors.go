@@ -11,6 +11,8 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"positres/internal/spec"
 )
@@ -53,7 +55,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	if err != nil {
 		// Practically unreachable: every payload type in this package
 		// marshals by construction (non-finite floats go through
-		// jsonFloat). Still, fail as JSON, not as a blank 500.
+		// JSONFloat). Still, fail as JSON, not as a blank 500.
 		raw = []byte(fmt.Sprintf("{\n  \"error\": {\n    \"code\": %q,\n    \"message\": %q\n  }\n}", codeInternal, err.Error()))
 		status = http.StatusInternalServerError
 	}
@@ -71,14 +73,16 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeJSON(w, status, errorBody{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// jsonFloat is a float64 that marshals non-finite values as the
+// JSONFloat is a float64 that marshals non-finite values as the
 // strings "NaN", "+Inf" and "-Inf" instead of failing (encoding/json
 // rejects them as numbers). Catastrophic flips produce exactly those
-// values, so they must survive the trip to the client.
-type jsonFloat float64
+// values, so they must survive the trip to the client. It is exported
+// because InjectResponse carries it both server-side and in
+// Client.Inject's decoded answer.
+type JSONFloat float64
 
 // MarshalJSON implements json.Marshaler.
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	v := float64(f)
 	switch {
 	case math.IsNaN(v):
@@ -91,13 +95,50 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return json.Marshal(v)
 }
 
-// hexBits is a bit pattern that marshals as a "0x…" hex string.
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON so
+// Client.Inject round-trips non-finite values exactly.
+func (f *JSONFloat) UnmarshalJSON(raw []byte) error {
+	switch string(raw) {
+	case `"NaN"`:
+		*f = JSONFloat(math.NaN())
+		return nil
+	case `"+Inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// HexBits is a bit pattern that marshals as a "0x…" hex string.
 // Patterns of the 64-bit formats exceed 2^53, so emitting them as
 // JSON numbers would silently lose low bits in any IEEE-double-based
 // JSON reader; strings are exact at every width.
-type hexBits uint64
+type HexBits uint64
 
 // MarshalJSON implements json.Marshaler.
-func (b hexBits) MarshalJSON() ([]byte, error) {
+func (b HexBits) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("\"0x%x\"", uint64(b))), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting the "0x…" (or
+// bare hex) strings MarshalJSON emits.
+func (b *HexBits) UnmarshalJSON(raw []byte) error {
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), 16, 64)
+	if err != nil {
+		return fmt.Errorf("serve: hex bits %q: %w", s, err)
+	}
+	*b = HexBits(v)
+	return nil
 }

@@ -18,9 +18,11 @@ import (
 	"positres/internal/qcat"
 )
 
-// injectRequest is the body of POST /v1/inject. Exactly one of Value
-// and Pattern must be set; Bit is required.
-type injectRequest struct {
+// InjectRequest is the body of POST /v1/inject. Exactly one of Value
+// and Pattern must be set; Bit is required. It is exported so
+// Client.Inject (and through it cmd/positload) can drive the endpoint
+// typed.
+type InjectRequest struct {
 	// Format is a numfmt registry name, e.g. "posit32" or "ieee32".
 	Format string `json:"format"`
 	// Value is a finite float64 to encode into Format.
@@ -32,29 +34,47 @@ type injectRequest struct {
 	Bit *int `json:"bit"`
 }
 
-// injectResponse is the body of a successful POST /v1/inject. Field
+// InjectResponse is the body of a successful POST /v1/inject. Field
 // names follow the campaign CSV schema (docs/SERVICE.md documents
 // both), bit patterns are hex strings, and non-finite numbers are the
 // strings "NaN"/"+Inf"/"-Inf".
-type injectResponse struct {
-	Format       string    `json:"format"`
-	Bit          int       `json:"bit"`
-	BitField     string    `json:"bit_field"`
-	RegimeK      int       `json:"regime_k"`
-	OrigValue    jsonFloat `json:"orig_value"`
-	ReprValue    jsonFloat `json:"repr_value"`
-	OrigBits     hexBits   `json:"orig_bits"`
-	FaultyBits   hexBits   `json:"faulty_bits"`
-	FaultyValue  jsonFloat `json:"faulty_value"`
-	AbsErr       jsonFloat `json:"abs_err"`
-	RelErr       jsonFloat `json:"rel_err"`
-	Catastrophic bool      `json:"catastrophic"`
-	Cached       bool      `json:"cached"`
+type InjectResponse struct {
+	// Format is the canonical codec name the flip ran against.
+	Format string `json:"format"`
+	// Bit is the flipped position, 0 (LSB) to width-1.
+	Bit int `json:"bit"`
+	// BitField names the format field the bit lands in (sign, regime,
+	// exponent, fraction, ...).
+	BitField string `json:"bit_field"`
+	// RegimeK is the posit regime value of the original pattern; 0 for
+	// non-posit formats.
+	RegimeK int `json:"regime_k"`
+	// OrigValue is the error baseline: the request value when one was
+	// given, else the decoded pattern.
+	OrigValue JSONFloat `json:"orig_value"`
+	// ReprValue is what the encoded pattern decodes back to.
+	ReprValue JSONFloat `json:"repr_value"`
+	// OrigBits is the encoded pattern before the flip.
+	OrigBits HexBits `json:"orig_bits"`
+	// FaultyBits is the pattern after the flip.
+	FaultyBits HexBits `json:"faulty_bits"`
+	// FaultyValue is what the flipped pattern decodes to.
+	FaultyValue JSONFloat `json:"faulty_value"`
+	// AbsErr is |faulty - orig|.
+	AbsErr JSONFloat `json:"abs_err"`
+	// RelErr is AbsErr scaled by |orig| (qcat.Point's convention).
+	RelErr JSONFloat `json:"rel_err"`
+	// Catastrophic reports whether the flip crossed the paper's
+	// catastrophic-error threshold.
+	Catastrophic bool `json:"catastrophic"`
+	// Cached reports whether the pattern-derived half of the answer
+	// came from the server's LRU.
+	Cached bool `json:"cached"`
 }
 
 // handleInject serves POST /v1/inject.
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
-	var req injectRequest
+	var req InjectRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -114,18 +134,18 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	// same pattern have different baselines), so they are computed per
 	// request from the cached pattern-derived half.
 	p := qcat.Point(origValue, info.faultyVal)
-	writeJSON(w, http.StatusOK, injectResponse{
+	writeJSON(w, http.StatusOK, InjectResponse{
 		Format:       codec.Name(),
 		Bit:          bit,
 		BitField:     info.bitField,
 		RegimeK:      info.regimeK,
-		OrigValue:    jsonFloat(origValue),
-		ReprValue:    jsonFloat(info.reprValue),
-		OrigBits:     hexBits(pattern),
-		FaultyBits:   hexBits(info.faultyBits),
-		FaultyValue:  jsonFloat(info.faultyVal),
-		AbsErr:       jsonFloat(p.AbsErr),
-		RelErr:       jsonFloat(p.RelErr),
+		OrigValue:    JSONFloat(origValue),
+		ReprValue:    JSONFloat(info.reprValue),
+		OrigBits:     HexBits(pattern),
+		FaultyBits:   HexBits(info.faultyBits),
+		FaultyValue:  JSONFloat(info.faultyVal),
+		AbsErr:       JSONFloat(p.AbsErr),
+		RelErr:       JSONFloat(p.RelErr),
 		Catastrophic: p.Catastrophic,
 		Cached:       cached,
 	})

@@ -149,6 +149,7 @@ type jobStore struct {
 	executeFor func(cs *spec.CampaignSpec) func(context.Context, runner.Shard) ([]core.Trial, error)
 
 	shardsDone atomic.Int64
+	rejected   atomic.Int64 // submissions bounced with queue_full (429)
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -156,6 +157,63 @@ type jobStore struct {
 	queue  chan *job // buffered: queueDepth + recovered jobs
 	ctx    context.Context
 	wg     sync.WaitGroup
+}
+
+// backpressure is the queue's live pressure view, served under
+// "backpressure" in GET /metrics so operators (and positload's error
+// budget) can see why 429s carry the Retry-After they do.
+type backpressure struct {
+	// Queued is the number of submitted-but-not-started campaigns.
+	Queued int `json:"queued"`
+	// QueueDepth is the configured queue capacity.
+	QueueDepth int `json:"queue_depth"`
+	// Rejected counts submissions bounced with queue_full since start.
+	Rejected int64 `json:"rejected"`
+	// RetryAfterSeconds is the Retry-After value the next 429 would
+	// carry, derived from current occupancy.
+	RetryAfterSeconds int `json:"retry_after_seconds"`
+}
+
+// retryAfterSeconds derives the Retry-After hint for a queue_full
+// rejection from current occupancy: an almost-draining queue asks for
+// 1s, a saturated one scales up linearly, capped at 30s. Derived, not
+// hard-coded, so a deep queue under light churn does not park clients
+// for a flat worst-case wait.
+func (s *jobStore) retryAfterSeconds() int {
+	s.mu.Lock()
+	queued, depth := s.queued, s.queueDepth
+	s.mu.Unlock()
+	return deriveRetryAfter(queued, depth)
+}
+
+// deriveRetryAfter maps queue occupancy to whole seconds in [1, 30].
+func deriveRetryAfter(queued, depth int) int {
+	if depth <= 0 || queued <= 0 {
+		return 1
+	}
+	// Linear in occupancy: a full queue of depth D suggests ~D/2
+	// seconds of drain at typical smoke-campaign pace, clamped.
+	secs := (queued*30 + depth - 1) / (2 * depth)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// pressure snapshots the backpressure view for /metrics.
+func (s *jobStore) pressure() backpressure {
+	s.mu.Lock()
+	queued, depth := s.queued, s.queueDepth
+	s.mu.Unlock()
+	return backpressure{
+		Queued:            queued,
+		QueueDepth:        depth,
+		Rejected:          s.rejected.Load(),
+		RetryAfterSeconds: deriveRetryAfter(queued, depth),
+	}
 }
 
 // newJobStore creates the store, creating dir and recovering any jobs
@@ -237,6 +295,7 @@ func (s *jobStore) submit(req spec.CampaignSpec) (*job, *spec.Error) {
 	}
 	if s.queued >= s.queueDepth {
 		s.mu.Unlock()
+		s.rejected.Add(1)
 		return nil, &spec.Error{Code: codeQueueFull, Message: fmt.Sprintf("campaign queue is full (%d pending)", s.queueDepth)}
 	}
 	s.queued++

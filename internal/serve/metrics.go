@@ -25,6 +25,9 @@ type metricsResponse struct {
 	Jobs map[string]int `json:"jobs"`
 	// InjectCache reports /v1/inject LRU occupancy and hit rates.
 	InjectCache cacheStats `json:"inject_cache"`
+	// Backpressure reports campaign-queue occupancy, the 429 rejection
+	// count, and the Retry-After the next rejection would carry.
+	Backpressure backpressure `json:"backpressure"`
 	// Cluster holds per-worker dispatch tallies, heartbeat latency
 	// histograms and the reassignment count. Omitted entirely in
 	// single-node operation (no workers ever registered).
@@ -34,10 +37,11 @@ type metricsResponse struct {
 // handleMetrics serves GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resp := metricsResponse{
-		Campaign:    s.metrics.Snapshot(),
-		HTTP:        s.httpMetrics.Snapshot(),
-		Jobs:        s.jobs.tallies(),
-		InjectCache: s.cache.stats(),
+		Campaign:     s.metrics.Snapshot(),
+		HTTP:         s.httpMetrics.Snapshot(),
+		Jobs:         s.jobs.tallies(),
+		InjectCache:  s.cache.stats(),
+		Backpressure: s.jobs.pressure(),
 	}
 	if s.cluster.size() > 0 {
 		snap := s.clusterMetrics.Snapshot()

@@ -558,19 +558,34 @@ func TestShardsTotalMultiFormat(t *testing.T) {
 }
 
 func TestJSONFloatAndHexBits(t *testing.T) {
-	raw, err := json.Marshal(struct {
-		A jsonFloat `json:"a"`
-		B jsonFloat `json:"b"`
-		C jsonFloat `json:"c"`
-		D jsonFloat `json:"d"`
-		E hexBits   `json:"e"`
-	}{jsonFloat(inf()), jsonFloat(-inf()), jsonFloat(nan()), 1.5, hexBits(0xdeadbeefcafef00d)})
+	type payload struct {
+		A JSONFloat `json:"a"`
+		B JSONFloat `json:"b"`
+		C JSONFloat `json:"c"`
+		D JSONFloat `json:"d"`
+		E HexBits   `json:"e"`
+	}
+	in := payload{JSONFloat(inf()), JSONFloat(-inf()), JSONFloat(nan()), 1.5, HexBits(0xdeadbeefcafef00d)}
+	raw, err := json.Marshal(in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := `{"a":"+Inf","b":"-Inf","c":"NaN","d":1.5,"e":"0xdeadbeefcafef00d"}`
 	if string(raw) != want {
 		t.Errorf("got %s, want %s", raw, want)
+	}
+	// Round trip: unmarshal then re-marshal reproduces the exact JSON,
+	// non-finites included (string compare sidesteps float equality).
+	var out payload
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != want {
+		t.Errorf("round trip drifted: %s, want %s", again, want)
 	}
 }
 

@@ -9,16 +9,40 @@ package serve
 // binaries pointed at each other.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
+	"time"
 
 	"positres/internal/core"
 	"positres/internal/numfmt"
 	"positres/internal/sdrbench"
 	"positres/internal/spec"
+)
+
+// Shard integrity and deadline headers of the worker protocol. The
+// worker announces the exact row count up front and a CRC-32 (IEEE) of
+// the CSV bytes as an HTTP trailer; the coordinator's client verifies
+// both before a shard result may reach the journal, so a truncated or
+// corrupted body is a retryable shard failure, never silent data loss.
+// The deadline header carries the coordinator watchdog's remaining
+// budget so a chaos-delayed worker abandons computation in step with
+// the coordinator timing it out.
+const (
+	// headerShardRows is the response header carrying the trial count.
+	headerShardRows = "X-Positres-Rows"
+	// trailerShardCRC is the response trailer carrying the CRC-32
+	// (IEEE, lowercase hex) of the exact CSV bytes.
+	trailerShardCRC = "X-Positres-Crc32"
+	// headerShardDeadline is the request header carrying the
+	// coordinator's remaining shard budget in milliseconds.
+	headerShardDeadline = "X-Positres-Deadline-Ms"
 )
 
 // ShardRequest is the body of POST /v1/shards: one bit-range work
@@ -95,20 +119,39 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Honor the coordinator's shard deadline: when the watchdog over
+	// there has D ms left, computing past D here is wasted work — the
+	// coordinator has already failed the attempt and re-dispatched.
+	ctx := r.Context()
+	if ms, err := strconv.ParseInt(r.Header.Get(headerShardDeadline), 10, 64); err == nil && ms > 0 {
+		dctx, cancel := context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		ctx = dctx
+	}
+
 	data := sdrbench.ToFloat64(field.Generate(req.Spec.N, req.Spec.Seed))
-	trials, err := core.RunRange(r.Context(), core.ConfigFromSpec(&req.Spec),
+	trials, err := core.RunRange(ctx, core.ConfigFromSpec(&req.Spec),
 		codec, req.Spec.Fields[0], data, req.BitLo, req.BitHi)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, "shard computation: %v", err)
 		return
 	}
+	// Integrity envelope: exact row count as a header (known before the
+	// body) and a CRC-32 of the CSV bytes as a declared trailer (known
+	// only after). A fault anywhere on the wire breaks at least one of
+	// them, and the client refuses to journal the shard.
+	w.Header().Set("Trailer", trailerShardCRC)
+	w.Header().Set(headerShardRows, strconv.Itoa(len(trials)))
 	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	if err := core.WriteTrialsCSV(w, trials); err != nil {
+	crc := crc32.NewIEEE()
+	if err := core.WriteTrialsCSV(io.MultiWriter(w, crc), trials); err != nil {
 		// Headers are committed; the coordinator sees a truncated CSV,
-		// fails the parse, and retries the shard elsewhere.
+		// fails the integrity check, and retries the shard elsewhere.
 		fmt.Fprintln(os.Stderr, "positserve: shard stream:", err)
+		return // no trailer: the client treats its absence as truncation
 	}
+	w.Header().Set(trailerShardCRC, fmt.Sprintf("%08x", crc.Sum32()))
 }
 
 // handleRegisterWorker serves POST /v1/workers: add (idempotently)

@@ -116,6 +116,46 @@ type HistogramBand struct {
 	Count int64 `json:"count"` // observations that landed in this band
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) of the recorded
+// durations in nanoseconds from the log₂ bands: it returns the upper
+// edge of the band holding the q-th observation, clamped to the
+// observed [MinNS, MaxNS] range so the estimate never exceeds a real
+// observation. A snapshot with no observations returns 0. The
+// coarseness is the band width (a factor of 2), which is exactly the
+// resolution positload's p95/p99 error budgets are asserted at.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			// Upper edge of band [lo, 2*lo) µs; band 0 is [0, 2) µs.
+			hi := int64(2) * int64(time.Microsecond)
+			if b.LoUS > 0 {
+				hi = 2 * b.LoUS * int64(time.Microsecond)
+			}
+			if hi > s.MaxNS {
+				hi = s.MaxNS
+			}
+			if hi < s.MinNS {
+				hi = s.MinNS
+			}
+			return hi
+		}
+	}
+	return s.MaxNS
+}
+
 // Snapshot returns a consistent-enough view of the histogram: each
 // field is read atomically; cross-field skew is bounded by in-flight
 // observations and is irrelevant for monitoring.

@@ -167,3 +167,39 @@ func TestPublishIdempotent(t *testing.T) {
 		t.Errorf("expvar schema = %q, want %q", s.Schema, SnapshotSchema)
 	}
 }
+
+// TestHistogramQuantile: quantile estimates land on the upper edge of
+// the band holding the target rank, clamped to observed min/max.
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	// 90 fast observations in the [1ms, 2ms) band, 10 slow in [1s, 2s).
+	for i := 0; i < 90; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// 1500µs lands in the [1024µs, 2048µs) band; the estimate is its
+	// upper edge.
+	if got := s.Quantile(0.5); got != int64(2048*time.Microsecond) {
+		t.Errorf("p50 = %d ns, want 2048µs band edge", got)
+	}
+	// p95 falls in the slow band; the edge is clamped to MaxNS.
+	if got := s.Quantile(0.95); got != s.MaxNS {
+		t.Errorf("p95 = %d ns, want MaxNS %d", got, s.MaxNS)
+	}
+	if got := s.Quantile(1.0); got != s.MaxNS {
+		t.Errorf("p100 = %d ns, want MaxNS %d", got, s.MaxNS)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	// A single sub-microsecond observation clamps up to MinNS... and
+	// down to MaxNS, both equal to the observation.
+	var one Histogram
+	one.Observe(400 * time.Nanosecond)
+	if got := one.Snapshot().Quantile(0.99); got != 400 {
+		t.Errorf("single-observation quantile = %d ns, want 400", got)
+	}
+}

@@ -3,10 +3,11 @@
 #
 # Runs every gate in order and fails fast: formatting, vet, build,
 # positlint (including a self-test that the linter still fires on its
-# fixtures), the short test suite, the race-detector pass, and the
-# kill-and-resume campaign e2e, the kill-and-restart positserve e2e,
-# and the dead-worker cluster fan-out e2e. Each step prints a banner
-# so failures are attributable at a glance.
+# fixtures), the positload chaos smoke, the short test suite, the
+# race-detector pass, and the e2e battery — kill-and-resume campaign,
+# kill-and-restart positserve, dead-worker cluster fan-out, and the
+# chaos-and-soak load run. Each step prints a banner so failures are
+# attributable at a glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -80,6 +81,22 @@ $GO test -short ./...
 banner "go test -race -short ./..."
 $GO test -race -short ./...
 
+banner "positload smoke: chaos soak against an in-process stack, artifact under artifacts/"
+mkdir -p artifacts
+$GO run ./cmd/positload -smoke -duration 3s -qps 40 -inject-workers 4 \
+	-chaos-latency-p 0.10 -chaos-5xx-p 0.05 -chaos-reset-p 0.02 \
+	-out artifacts/load.json >/dev/null
+grep -q '"schema": "positres-load/v1"' artifacts/load.json || {
+	echo "positload artifact missing schema tag"
+	exit 1
+}
+if grep -q '"violations"' artifacts/load.json; then
+	echo "positload smoke violated its error budget:"
+	cat artifacts/load.json
+	exit 1
+fi
+echo "ok"
+
 banner "resume e2e: kill-and-resume must reproduce CSVs byte-for-byte"
 ./scripts/resume_e2e.sh
 
@@ -88,6 +105,9 @@ banner "serve e2e: kill-and-restart positserve must auto-resume byte-for-byte"
 
 banner "cluster e2e: distributed fan-out must survive a dead worker byte-for-byte"
 ./scripts/cluster_e2e.sh
+
+banner "load e2e: chaos soak must hold its error budget byte-for-byte"
+./scripts/load_e2e.sh
 
 echo ""
 echo "=== ci: all $step steps passed ==="
