@@ -99,7 +99,7 @@ bench:
 	$(GO) run ./cmd/positbench
 
 bench-json:
-	$(GO) run ./cmd/positbench -out BENCH_PR5.json
+	$(GO) run ./cmd/positbench -out BENCH_PR9.json
 
 # Raw `go test` benchmarks (the figure-regeneration harness in
 # bench_test.go), for ad-hoc -bench=regexp runs.
@@ -114,13 +114,15 @@ report:
 report-paper:
 	$(GO) run ./cmd/positreport -fig all -budget paper
 
-# Brief fuzz pass over the posit substrate invariants.
+# Brief fuzz pass over the posit substrate invariants and the binary
+# trial wire decoder (docs/WIRE.md).
 fuzz:
 	$(GO) test -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzDecodersAgree -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzAddAgainstRat -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzQuireFMA -fuzztime 30s ./internal/posit/
+	$(GO) test -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire/
 
 # Smoke-test the fuzzers (5s each) — quick enough for every PR.
 # -run '^$' skips the package's (heavy, exhaustive) unit tests so each
@@ -131,6 +133,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzAddAgainstRat -fuzztime 5s ./internal/posit/
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/posit/
 	$(GO) test -run '^$$' -fuzz FuzzQuireFMA -fuzztime 5s ./internal/posit/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire/
 
 examples:
 	$(GO) run ./examples/quickstart

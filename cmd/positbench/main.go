@@ -1,8 +1,9 @@
 // Command positbench is the repo's benchmark driver: it runs the
 // fixed-budget performance suite — campaign injection throughput,
 // posit substrate micro-benchmarks (encode/decode/arithmetic/quire),
-// the LUT-vs-generic decode comparison, and representative figure
-// regenerations — through testing.Benchmark and writes a
+// the LUT-vs-generic and CLZ-vs-generic decode comparisons, the
+// binary-wire-vs-CSV trial codec comparison, and representative
+// figure regenerations — through testing.Benchmark and writes a
 // schema-versioned JSON baseline (see docs/PERF.md) suitable for
 // committing as BENCH_<pr>.json and diffing across PRs.
 //
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -41,6 +43,7 @@ import (
 	"positres/internal/spec"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
+	"positres/internal/wire"
 )
 
 // ReportSchema versions the JSON layout of the emitted baseline. Bump
@@ -154,13 +157,34 @@ func run(args []string, stdout io.Writer) int {
 			fmt.Sprintf("%d", br.AllocsPerOp), extraString(br.Metrics))
 	}
 
-	// Derived headline numbers: the LUT optimization's measured win and
-	// the campaign's injection rate (the telemetry counter cross-check).
+	// Derived headline numbers: the LUT and CLZ decode tiers' measured
+	// wins, the binary wire's win over the CSV codec, and the
+	// campaign's injection rate (the telemetry counter cross-check).
 	for _, w := range []int{8, 16} {
 		lut := byName[fmt.Sprintf("posit%d_decode_lut", w)]
 		gen := byName[fmt.Sprintf("posit%d_decode_generic", w)]
 		if lut.NsPerOp > 0 {
 			rep.Derived[fmt.Sprintf("posit%d_decode_speedup", w)] = gen.NsPerOp / lut.NsPerOp
+		}
+	}
+	for _, w := range []int{32, 64} {
+		clz := byName[fmt.Sprintf("posit%d_decode_clz", w)]
+		gen := byName[fmt.Sprintf("posit%d_decode_generic", w)]
+		if clz.NsPerOp > 0 {
+			rep.Derived[fmt.Sprintf("posit%d_decode_speedup", w)] = gen.NsPerOp / clz.NsPerOp
+		}
+	}
+	if we, ok := byName["wire_encode_shard"]; ok && we.NsPerOp > 0 {
+		if ce, ok2 := byName["csv_encode_shard"]; ok2 {
+			rep.Derived["wire_encode_speedup"] = ce.NsPerOp / we.NsPerOp
+			if fb := we.Metrics["frame_bytes"]; fb > 0 {
+				rep.Derived["wire_csv_size_ratio"] = ce.Metrics["csv_bytes"] / fb
+			}
+		}
+	}
+	if wd, ok := byName["wire_decode_shard"]; ok && wd.NsPerOp > 0 {
+		if cd, ok2 := byName["csv_decode_shard"]; ok2 {
+			rep.Derived["wire_decode_speedup"] = cd.NsPerOp / wd.NsPerOp
 		}
 	}
 	if c, ok := byName["campaign_posit32"]; ok {
@@ -173,7 +197,10 @@ func run(args []string, stdout io.Writer) int {
 	}
 
 	fmt.Fprint(stdout, table.Render())
-	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup", "campaign_injections_per_sec", "cluster_scaleout_3v1"} {
+	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup",
+		"posit32_decode_speedup", "posit64_decode_speedup",
+		"wire_encode_speedup", "wire_decode_speedup", "wire_csv_size_ratio",
+		"campaign_injections_per_sec", "cluster_scaleout_3v1"} {
 		if v, ok := rep.Derived[k]; ok {
 			fmt.Fprintf(stdout, "%s: %.2f\n", k, v)
 		}
@@ -316,6 +343,29 @@ func benchCases(budget figures.Budget) []benchCase {
 				sinkF64 = posit.DecodeFloat64Generic(posit.Std16, uint64(i&0xFFFF))
 			}
 		}},
+		// CLZ-vs-generic decode: the branchless fast path the wide
+		// formats dispatch to (posit8/16 take the LUT tier instead; the
+		// tier table is in docs/ARCHITECTURE.md).
+		{"posit32_decode_clz", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64CLZ(posit.Std32, uint64(0x40000000+i&0xFFFFF))
+			}
+		}},
+		{"posit32_decode_generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64Generic(posit.Std32, uint64(0x40000000+i&0xFFFFF))
+			}
+		}},
+		{"posit64_decode_clz", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64CLZ(posit.Std64, uint64(0x4000000000000000+i&0xFFFFF))
+			}
+		}},
+		{"posit64_decode_generic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkF64 = posit.DecodeFloat64Generic(posit.Std64, uint64(0x4000000000000000+i&0xFFFFF))
+			}
+		}},
 		// Substrate micro-benches.
 		{"posit32_encode", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -356,6 +406,16 @@ func benchCases(budget figures.Budget) []benchCase {
 		// here as allocs/op).
 		{"campaign_posit32", benchCampaign("posit32", budget)},
 		{"campaign_posit16", benchCampaign("posit16", budget)},
+		// The steady-state single-node loop: RunRangeInto at one worker
+		// with a reused trial buffer — the shape the runner drives per
+		// shard. 0 allocs/op is the PR 9 acceptance number.
+		{"campaign_runrange_posit32", benchRunRange("posit32", budget)},
+		// Trial codecs: one shard's trials through the packed binary
+		// frame (docs/WIRE.md) vs the CSV journal encoding.
+		{"wire_encode_shard", benchWireEncode(budget)},
+		{"csv_encode_shard", benchCSVEncode(budget)},
+		{"wire_decode_shard", benchWireDecode(budget)},
+		{"csv_decode_shard", benchCSVDecode(budget)},
 		// Distributed fan-out: the same engine behind positserve
 		// coordinator mode, dispatching every shard over HTTP to an
 		// in-process worker fleet. 1 vs 3 workers gives the scale-out
@@ -403,6 +463,145 @@ func benchQuireDot(b *testing.B) {
 			q.AddProduct(a[j], enc[j])
 		}
 		sinkU64 = q.ToPosit()
+	}
+}
+
+// shardTrials computes one representative shard's trials — the full
+// posit32 bit range of one field at the budget's TrialsPerBit — for
+// the wire-vs-CSV codec benches.
+func shardTrials(b *testing.B, budget figures.Budget) []core.Trial {
+	b.Helper()
+	field, err := sdrbench.Lookup("Hurricane/Vf30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := sdrbench.ToFloat64(field.Generate(budget.DatasetN, 1))
+	codec, err := numfmt.Lookup("posit32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.TrialsPerBit = budget.TrialsPerBit
+	trials, err := core.RunRange(context.Background(), cfg, codec, field.Key(), data, 0, codec.Width())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return trials
+}
+
+// benchWireEncode measures AppendFrame over a reused buffer — the
+// worker's steady-state encode path.
+func benchWireEncode(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		trials := shardTrials(b, budget)
+		var dst []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = wire.AppendFrame(dst[:0], trials)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(dst)), "frame_bytes")
+	}
+}
+
+// benchCSVEncode measures WriteTrialsCSV into a reused buffer — the
+// CSV fallback's encode path (and the journal's).
+func benchCSVEncode(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		trials := shardTrials(b, budget)
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := core.WriteTrialsCSV(&buf, trials); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "csv_bytes")
+	}
+}
+
+// benchWireDecode measures DecodeFrame of one shard frame.
+func benchWireDecode(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		frame, err := wire.EncodeFrame(shardTrials(b, budget))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trials, _, err := wire.DecodeFrame(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkU64 = uint64(len(trials))
+		}
+	}
+}
+
+// benchCSVDecode measures ReadTrialsCSV of the same shard as CSV.
+func benchCSVDecode(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := core.WriteTrialsCSV(&buf, shardTrials(b, budget)); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trials, err := core.ReadTrialsCSV(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkU64 = uint64(len(trials))
+		}
+	}
+}
+
+// benchRunRange measures the allocation-free single-node campaign
+// loop: RunRangeInto at Workers == 1 with one trial buffer threaded
+// through every iteration. Allocs/op here is the number BENCH_PR9.json
+// pins at zero.
+func benchRunRange(codecName string, budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		field, err := sdrbench.Lookup("Hurricane/Vf30")
+		if err != nil {
+			b.Fatal(err)
+		}
+		data := sdrbench.ToFloat64(field.Generate(budget.DatasetN, 1))
+		codec, err := numfmt.Lookup(codecName)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.TrialsPerBit = budget.TrialsPerBit
+		cfg.Workers = 1
+		key := field.Key() // Key() concatenates; hoist it so the loop stays 0-alloc
+		var buf []core.Trial
+		// Warm the buffer once so first-call growth lands outside the
+		// timed loop; afterwards every iteration reuses its capacity.
+		buf, err = core.RunRangeInto(context.Background(), cfg, codec, key, data, 0, codec.Width(), buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			buf, err = core.RunRangeInto(context.Background(), cfg, codec, key, data, 0, codec.Width(), buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(buf)
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "injections/s")
 	}
 }
 

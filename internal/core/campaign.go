@@ -147,6 +147,19 @@ func Run(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, d
 // here or inside a full-width Run: concatenating shard outputs in bit
 // order reproduces an uninterrupted campaign bit for bit.
 func RunRange(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, data []float64, lo, hi int) ([]Trial, error) {
+	return RunRangeInto(ctx, cfg, codec, fieldKey, data, lo, hi, nil)
+}
+
+// RunRangeInto is RunRange with a caller-supplied result buffer: when
+// buf has capacity for every trial of the range it is resliced and
+// filled in place (the returned slice aliases it); otherwise a fresh
+// slice is allocated exactly as RunRange would. Threading one buffer
+// through repeated calls — the runner's retry loop, positbench's
+// steady-state measurement — makes the campaign loop allocation-free:
+// with Workers == 1 the range runs serially on the calling goroutine,
+// with no channel, no pool and no per-trial allocations (the PRNG
+// keying is stack-only; BENCH_PR9.json pins 0 allocs/op).
+func RunRangeInto(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, data []float64, lo, hi int, buf []Trial) ([]Trial, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("core: empty dataset for %s", fieldKey)
 	}
@@ -167,13 +180,47 @@ func RunRange(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey stri
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	trials := make([]Trial, (hi-lo)*cfg.TrialsPerBit)
+	need := (hi - lo) * cfg.TrialsPerBit
+	var trials []Trial
+	if cap(buf) >= need {
+		trials = buf[:need]
+	} else {
+		trials = make([]Trial, need)
+	}
 
-	// One job per bit position; each worker fills a disjoint slice of
-	// the result, so no synchronization beyond the channel is needed
-	// (Effective Go's fixed-pool Serve pattern). On cancellation the
-	// feeder stops handing out bits and workers drain the channel
-	// without computing, so Wait returns promptly.
+	// Serial fast path: one worker means the calling goroutine can
+	// fill the buffer directly — no channel, no pool, no allocation.
+	// This is the shape every shard takes under the runner (shards are
+	// the unit of parallelism; the engine inside one stays serial).
+	// The pooled path lives in its own function because its goroutine
+	// closure would otherwise force trials (and the captured config)
+	// to the heap even on the serial branch — escape analysis is
+	// static — which alone would cost 2 allocs per call here.
+	if workers == 1 {
+		for bit := lo; bit < hi; bit++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: campaign %s/%s: %w", fieldKey, codec.Name(), err)
+			}
+			out := trials[(bit-lo)*cfg.TrialsPerBit : (bit-lo+1)*cfg.TrialsPerBit]
+			runBit(cfg, codec, fieldKey, data, bit, out)
+			cfg.Metrics.AddInjections(len(out))
+			cfg.Metrics.AddBitDone()
+		}
+		return trials, nil
+	}
+	if err := runRangePooled(ctx, cfg, codec, fieldKey, data, lo, hi, workers, trials); err != nil {
+		return nil, err
+	}
+	return trials, nil
+}
+
+// runRangePooled fills trials over a fixed worker pool, one job per
+// bit position; each worker fills a disjoint slice of the result, so
+// no synchronization beyond the channel is needed (Effective Go's
+// fixed-pool Serve pattern). On cancellation the feeder stops handing
+// out bits and workers drain the channel without computing, so Wait
+// returns promptly.
+func runRangePooled(ctx context.Context, cfg Config, codec numfmt.Codec, fieldKey string, data []float64, lo, hi, workers int, trials []Trial) error {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -202,9 +249,9 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("core: campaign %s/%s: %w", fieldKey, codec.Name(), err)
+		return fmt.Errorf("core: campaign %s/%s: %w", fieldKey, codec.Name(), err)
 	}
-	return trials, nil
+	return nil
 }
 
 // runBit executes all trials for one bit position. The PRNG stream of

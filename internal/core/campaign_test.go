@@ -557,3 +557,71 @@ func TestFullSweepJobs(t *testing.T) {
 		t.Error("unknown codec should error")
 	}
 }
+
+// TestRunRangeIntoReusesBuffer: a caller-supplied buffer with enough
+// capacity is filled in place and the results are identical to an
+// allocating run — the hot-path contract runner and positbench lean on.
+func TestRunRangeIntoReusesBuffer(t *testing.T) {
+	data := testData(t, "Hurricane/Uf30", 20000)
+	codec := mustCodec(t, "posit32")
+	cfg := smallCfg()
+	cfg.Workers = 1
+
+	fresh, err := RunRange(context.Background(), cfg, codec, "Hurricane/Uf30", data, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Trial, len(fresh))
+	got, err := RunRangeInto(context.Background(), cfg, codec, "Hurricane/Uf30", data, 4, 9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[0] {
+		t.Fatal("RunRangeInto did not fill the supplied buffer in place")
+	}
+	if !reflect.DeepEqual(fresh, got) {
+		t.Fatal("buffered run differs from allocating run")
+	}
+
+	// Undersized buffer: falls back to allocation, same results.
+	got2, err := RunRangeInto(context.Background(), cfg, codec, "Hurricane/Uf30", data, 4, 9, buf[:0:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, got2) {
+		t.Fatal("undersized-buffer run differs from allocating run")
+	}
+
+	// Pooled path honors the buffer too.
+	cfg.Workers = 4
+	got3, err := RunRangeInto(context.Background(), cfg, codec, "Hurricane/Uf30", data, 4, 9, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, got3) {
+		t.Fatal("pooled buffered run differs from serial run")
+	}
+}
+
+// TestRunRangeSerialZeroAllocs pins the tentpole property of PR 9:
+// with one worker and a reused buffer the campaign loop allocates
+// nothing per call (BENCH_PR9.json carries the benchmark-grade
+// number; this is the cheap regression tripwire).
+func TestRunRangeSerialZeroAllocs(t *testing.T) {
+	data := testData(t, "Hurricane/Uf30", 20000)
+	codec := mustCodec(t, "posit32")
+	cfg := smallCfg()
+	cfg.Workers = 1
+	ctx := context.Background()
+	buf := make([]Trial, 2*cfg.TrialsPerBit)
+	allocs := testing.AllocsPerRun(10, func() {
+		var err error
+		buf, err = RunRangeInto(ctx, cfg, codec, "Hurricane/Uf30", data, 3, 5, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("serial RunRangeInto allocates %.1f per call, want 0", allocs)
+	}
+}

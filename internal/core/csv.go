@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // trialHeader is the CSV schema, mirroring the paper's "write them to
@@ -15,36 +18,117 @@ var trialHeader = []string{
 	"bit_field", "regime_k", "abs_err", "rel_err", "catastrophic",
 }
 
-// WriteTrialsCSV streams trials to w as CSV with a header row.
-func WriteTrialsCSV(w io.Writer, trials []Trial) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(trialHeader); err != nil {
-		return fmt.Errorf("core: csv header: %w", err)
+// csvFlushAt bounds the row scratch buffer: once a batch of encoded
+// rows crosses this size it is written out and the capacity reused, so
+// arbitrarily large trial logs stream in constant memory.
+const csvFlushAt = 64 << 10
+
+// csvFieldNeedsQuotes mirrors encoding/csv's fieldNeedsQuotes for the
+// default configuration (comma delimiter): the manual row encoder
+// below must emit byte-identical output to a csv.Writer, and quoting
+// is the only place the two could diverge.
+func csvFieldNeedsQuotes(field string) bool {
+	if field == "" {
+		return false
 	}
-	row := make([]string, len(trialHeader))
-	for i := range trials {
-		tr := &trials[i]
-		row[0] = tr.Field
-		row[1] = tr.Codec
-		row[2] = strconv.Itoa(tr.Bit)
-		row[3] = strconv.Itoa(tr.Seq)
-		row[4] = strconv.Itoa(tr.Index)
-		row[5] = strconv.FormatFloat(tr.OrigValue, 'g', -1, 64)
-		row[6] = strconv.FormatFloat(tr.ReprValue, 'g', -1, 64)
-		row[7] = strconv.FormatUint(tr.OrigBits, 16)
-		row[8] = strconv.FormatUint(tr.FaultyBits, 16)
-		row[9] = strconv.FormatFloat(tr.FaultyVal, 'g', -1, 64)
-		row[10] = tr.FieldName
-		row[11] = strconv.Itoa(tr.RegimeK)
-		row[12] = strconv.FormatFloat(tr.AbsErr, 'g', -1, 64)
-		row[13] = strconv.FormatFloat(tr.RelErr, 'g', -1, 64)
-		row[14] = strconv.FormatBool(tr.Catastrophic)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("core: csv row %d: %w", i, err)
+	if field == `\.` || strings.ContainsAny(field, ",\"\r\n") {
+		return true
+	}
+	r1, _ := utf8.DecodeRuneInString(field)
+	return unicode.IsSpace(r1)
+}
+
+// appendCSVField appends one field with encoding/csv's quoting rules
+// (UseCRLF == false: bare \r and \n inside quotes, doubled quotes).
+func appendCSVField(dst []byte, field string) []byte {
+	if !csvFieldNeedsQuotes(field) {
+		return append(dst, field...)
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(field); i++ {
+		c := field[i]
+		if c == '"' {
+			dst = append(dst, '"', '"')
+		} else {
+			dst = append(dst, c)
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return append(dst, '"')
+}
+
+// appendTrialRow appends one trial as a CSV row (trailing newline
+// included). Numeric and bool columns never contain delimiter or quote
+// bytes, so only the three string columns route through the quoting
+// helper.
+func appendTrialRow(dst []byte, tr *Trial) []byte {
+	dst = appendCSVField(dst, tr.Field)
+	dst = append(dst, ',')
+	dst = appendCSVField(dst, tr.Codec)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(tr.Bit), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(tr.Seq), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(tr.Index), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, tr.OrigValue, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, tr.ReprValue, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, tr.OrigBits, 16)
+	dst = append(dst, ',')
+	dst = strconv.AppendUint(dst, tr.FaultyBits, 16)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, tr.FaultyVal, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = appendCSVField(dst, tr.FieldName)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(tr.RegimeK), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, tr.AbsErr, 'g', -1, 64)
+	dst = append(dst, ',')
+	dst = strconv.AppendFloat(dst, tr.RelErr, 'g', -1, 64)
+	dst = append(dst, ',')
+	if tr.Catastrophic {
+		dst = append(dst, "true"...)
+	} else {
+		dst = append(dst, "false"...)
+	}
+	return append(dst, '\n')
+}
+
+// WriteTrialsCSV streams trials to w as CSV with a header row.
+//
+// Rows are encoded into a reused byte buffer with the strconv.Append
+// family rather than through a csv.Writer, which would allocate one
+// string per formatted column — at campaign scale that made CSV
+// encoding the dominant allocator in the whole coordinator (see
+// docs/PERF.md). TestWriteTrialsCSVMatchesStdlib pins the output
+// byte-identical to encoding/csv.
+func WriteTrialsCSV(w io.Writer, trials []Trial) error {
+	buf := make([]byte, 0, csvFlushAt+512)
+	for i, h := range trialHeader {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, h...)
+	}
+	buf = append(buf, '\n')
+	for i := range trials {
+		buf = appendTrialRow(buf, &trials[i])
+		if len(buf) >= csvFlushAt {
+			if _, err := w.Write(buf); err != nil {
+				return fmt.Errorf("core: csv row %d: %w", i, err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("core: csv flush: %w", err)
+		}
+	}
+	return nil
 }
 
 // ReadTrialsCSV parses a trial log written by WriteTrialsCSV.

@@ -19,8 +19,11 @@ import (
 //
 // The rule keys on the naming convention `<x>Header` → struct `<X>`
 // (trialHeader → Trial), resolved through the fact index so the
-// registry and the struct may live in different packages. It fires
-// when:
+// registry and the struct may live in different packages. A
+// `<x>WireHeader` registry with no `<X>Wire` struct falls back to
+// `<X>` (trialWireHeader → Trial): the binary wire encoder keeps its
+// own copy of the column registry, and it must mirror the same
+// struct. The rule fires when:
 //
 //   - the registry length differs from the struct's named field count
 //     (a field was added or removed without updating the header);
@@ -28,7 +31,11 @@ import (
 //     of the struct — the shape of every encoder and decoder — but
 //     does not reference ALL of the struct's fields. A positional
 //     composite literal of the struct counts as referencing every
-//     field (the compiler already enforces arity there).
+//     field (the compiler already enforces arity there);
+//   - two registries anywhere in the repo mirror the same struct but
+//     disagree elementwise (core.trialHeader vs wire.trialWireHeader)
+//     — the CSV journal and the binary wire would then order or name
+//     columns differently, which no per-registry check can see.
 //
 // Functions that reference the struct without the header (business
 // logic) or the header without fields (writing the header row) are
@@ -44,18 +51,36 @@ func (*CSVHeader) ID() string { return "csvheader" }
 
 // Doc implements Rule.
 func (*CSVHeader) Doc() string {
-	return "flags <x>Header registries and encode/decode paths that drift from the struct they serialize"
+	return "flags <x>Header registries, encode/decode paths and sibling registries that drift from the struct they serialize"
 }
 
-// headerStructName maps a registry variable name to the struct it
-// mirrors: trialHeader -> Trial. Empty when the name does not follow
-// the convention.
-func headerStructName(varName string) string {
+// headerStructCandidates maps a registry variable name to the struct
+// names it may mirror, most specific first: trialHeader -> [Trial],
+// trialWireHeader -> [TrialWire, Trial]. The Wire fallback is what
+// lets a binary encoder's column registry bind to the same struct as
+// the CSV one. Nil when the name does not follow the convention.
+func headerStructCandidates(varName string) []string {
 	base, ok := strings.CutSuffix(varName, "Header")
 	if !ok || base == "" {
-		return ""
+		return nil
 	}
-	return strings.ToUpper(base[:1]) + base[1:]
+	cands := []string{strings.ToUpper(base[:1]) + base[1:]}
+	if trimmed, ok := strings.CutSuffix(base, "Wire"); ok && trimmed != "" {
+		cands = append(cands, strings.ToUpper(trimmed[:1])+trimmed[1:])
+	}
+	return cands
+}
+
+// resolveStruct binds a registry fact to the struct it mirrors, trying
+// each naming candidate through the fact index. Nil when no candidate
+// names a struct anywhere — then the variable is not a schema registry.
+func resolveStruct(facts *FactIndex, fact *StringListFact) *StructFact {
+	for _, name := range headerStructCandidates(fact.Name) {
+		if sf := facts.StructIn(fact.Pkg, name); sf != nil {
+			return sf
+		}
+	}
+	return nil
 }
 
 // Check implements Rule.
@@ -68,20 +93,66 @@ func (r *CSVHeader) Check(pass *Pass) []Diagnostic {
 		if fact.Pkg != pass.Path {
 			continue // diagnostics are anchored in the declaring package
 		}
-		structName := headerStructName(fact.Name)
-		if structName == "" {
-			continue
-		}
-		sf := pass.Facts.StructIn(fact.Pkg, structName)
+		sf := resolveStruct(pass.Facts, fact)
 		if sf == nil {
 			continue // no struct of that name anywhere: not a schema registry
 		}
 		if len(fact.Elems) != len(sf.Fields) {
 			out = append(out, pass.Diag(r, fact.pos,
 				"%s has %d columns but %s has %d fields; header and struct must stay in lockstep",
-				fact.Name, len(fact.Elems), structName, len(sf.Fields)))
+				fact.Name, len(fact.Elems), sf.Name, len(sf.Fields)))
 		}
+		out = append(out, r.checkSiblings(pass, fact, sf)...)
 		out = append(out, r.checkMappers(pass, fact, sf)...)
+	}
+	return out
+}
+
+// checkSiblings compares fact against every other registry in the
+// repo that mirrors the same struct: a CSV header and a wire header
+// serializing one struct must agree column for column, or the two
+// encodings of the same data diverge. Each unordered pair is reported
+// once, anchored at the registry with the greater "pkg.name" key (the
+// wire copy, in the core-vs-wire case — the derived registry follows
+// the canonical one).
+func (r *CSVHeader) checkSiblings(pass *Pass, fact *StringListFact, sf *StructFact) []Diagnostic {
+	var out []Diagnostic
+	key := fact.Pkg + "." + fact.Name
+	var okeys []string
+	for okey := range pass.Facts.StringLists {
+		okeys = append(okeys, okey)
+	}
+	sort.Strings(okeys) // deterministic diagnostic order
+	for _, okey := range okeys {
+		if okey >= key {
+			continue
+		}
+		other := pass.Facts.StringLists[okey]
+		osf := resolveStruct(pass.Facts, other)
+		if osf == nil || osf.Pkg != sf.Pkg || osf.Name != sf.Name {
+			continue
+		}
+		n := len(fact.Elems)
+		if len(other.Elems) < n {
+			n = len(other.Elems)
+		}
+		diff := -1
+		for i := 0; i < n; i++ {
+			if fact.Elems[i] != other.Elems[i] {
+				diff = i
+				break
+			}
+		}
+		switch {
+		case diff >= 0:
+			out = append(out, pass.Diag(r, fact.pos,
+				"%s and %s both mirror %s but disagree at column %d: %q vs %q; sibling registries must agree elementwise",
+				fact.Name, okey, sf.Name, diff, fact.Elems[diff], other.Elems[diff]))
+		case len(fact.Elems) != len(other.Elems):
+			out = append(out, pass.Diag(r, fact.pos,
+				"%s has %d columns but sibling registry %s has %d; registries mirroring %s must agree elementwise",
+				fact.Name, len(fact.Elems), okey, len(other.Elems), sf.Name))
+		}
 	}
 	return out
 }

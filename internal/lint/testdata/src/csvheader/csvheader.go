@@ -1,7 +1,9 @@
 // Package csvheader exercises the csvheader rule: a <x>Header string
 // registry must have one column per field of the struct <X> it
-// mirrors, and any function that maps between the two must touch
-// every field.
+// mirrors (with <x>WireHeader falling back to <X> when no <X>Wire
+// struct exists), any function that maps between the two must touch
+// every field, and sibling registries mirroring the same struct must
+// agree elementwise.
 package csvheader
 
 import (
@@ -27,6 +29,17 @@ type Result struct {
 }
 
 var resultHeader = []string{"name", "min"} // want "resultHeader has 2 columns but Result has 3 fields"
+
+// resultWireHeader has no ResultWire struct, so it binds to Result
+// through the Wire fallback — and inherits the same length check.
+// Its columns agree with resultHeader elementwise, so the sibling
+// check stays quiet even though both are short.
+var resultWireHeader = []string{"name", "min"} // want "resultWireHeader has 2 columns but Result has 3 fields"
+
+// trialWireHeader also binds to Trial, has the right arity, but spells
+// the last column differently from trialHeader — the drift that would
+// let a CSV journal and a binary wire disagree about the same struct.
+var trialWireHeader = []string{"dataset", "bit", "error"} // want "trialWireHeader and .*trialHeader both mirror Trial but disagree at column 2"
 
 // headerRow references only the registry: writing the header line is
 // not a field mapping, so the completeness check does not apply.

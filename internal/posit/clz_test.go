@@ -1,0 +1,138 @@
+package posit
+
+import (
+	"math"
+	"testing"
+)
+
+// agreeCLZ fails unless the CLZ and generic decoders produce
+// bit-identical float64s for the pattern (NaN compared by bits: both
+// paths return the same math.NaN()).
+func agreeCLZ(t *testing.T, cfg Config, bits uint64) {
+	t.Helper()
+	got := DecodeFloat64CLZ(cfg, bits)
+	want := DecodeFloat64Generic(cfg, bits)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("%v pattern %#x: CLZ %v (%#x), generic %v (%#x)",
+			cfg, bits, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestCLZExhaustiveSmallWidths proves CLZ == generic on every pattern
+// of every configuration up to 20 bits wide, all exponent sizes —
+// including every truncated-regime/exponent/fraction shape a larger
+// posit can exhibit, since field layout depends only on run length
+// relative to width.
+func TestCLZExhaustiveSmallWidths(t *testing.T) {
+	maxN := 20
+	if testing.Short() {
+		maxN = 14
+	}
+	for n := 2; n <= maxN; n++ {
+		for es := 0; es <= 4; es++ {
+			cfg := Config{N: n, ES: es}
+			for b := uint64(0); b < uint64(1)<<uint(n); b++ {
+				agreeCLZ(t, cfg, b)
+			}
+		}
+	}
+}
+
+// TestCLZPosit32Sampled covers posit32 densely: the full low range
+// (every short-regime positive pattern), the mirrored top range
+// (their negations and the long-regime negatives), every
+// regime-boundary pattern, and a large deterministic sample — plus
+// each pattern's negation, so both sign paths see every case.
+func TestCLZPosit32Sampled(t *testing.T) {
+	cfg := Std32
+	span := uint64(1) << 20
+	if testing.Short() {
+		span = 1 << 16
+	}
+	for b := uint64(0); b < span; b++ {
+		agreeCLZ(t, cfg, b)
+		agreeCLZ(t, cfg, cfg.Negate(b))
+		agreeCLZ(t, cfg, cfg.Canon(^b))
+	}
+	// Regime boundaries: runs of every length in both directions, with
+	// all-ones and single-bit tails.
+	for k := 0; k < 32; k++ {
+		run := (cfg.Mask() >> 1) &^ (cfg.Mask() >> uint(k+1)) // k ones after the sign
+		for _, tail := range []uint64{0, 1, cfg.Mask() >> uint(k+2), 0x5555 & (cfg.Mask() >> uint(k+2))} {
+			agreeCLZ(t, cfg, run|tail)
+			agreeCLZ(t, cfg, cfg.Negate(run|tail))
+		}
+	}
+	// Deterministic wide-coverage sample via a Weyl sequence.
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 1<<18; i++ {
+		x += 0x9E3779B97F4A7C15
+		b := (x ^ x>>29) & cfg.Mask()
+		agreeCLZ(t, cfg, b)
+	}
+}
+
+// TestCLZPosit64Sampled mirrors the posit32 coverage for posit64,
+// where the fraction can exceed 53 bits and the decode incurs its one
+// legitimate float64 rounding — CLZ and generic must round
+// identically.
+func TestCLZPosit64Sampled(t *testing.T) {
+	cfg := Std64
+	span := uint64(1) << 18
+	if testing.Short() {
+		span = 1 << 14
+	}
+	for b := uint64(0); b < span; b++ {
+		agreeCLZ(t, cfg, b)
+		agreeCLZ(t, cfg, cfg.Negate(b))
+		agreeCLZ(t, cfg, ^b)
+	}
+	for k := 0; k < 64; k++ {
+		run := (cfg.Mask() >> 1) &^ (cfg.Mask() >> uint(k+1))
+		for _, tail := range []uint64{0, 1, cfg.Mask() >> uint(k+2), 0x5555555555 & (cfg.Mask() >> uint(k+2))} {
+			agreeCLZ(t, cfg, run|tail)
+			agreeCLZ(t, cfg, cfg.Negate(run|tail))
+		}
+	}
+	// Full-width patterns around rounding boundaries: long fractions
+	// of all ones, alternating bits, and a dense deterministic sample.
+	x := uint64(0x243F6A8885A308D3)
+	for i := 0; i < 1<<18; i++ {
+		x += 0x9E3779B97F4A7C15
+		b := x ^ x>>31
+		agreeCLZ(t, cfg, b)
+	}
+}
+
+// TestCLZSpecialPatterns pins the special values explicitly for the
+// dispatched configurations.
+func TestCLZSpecialPatterns(t *testing.T) {
+	for _, cfg := range []Config{Std8, Std16, Std32, Std64, {N: 64, ES: 4}, {N: 64, ES: 0}, {N: 2, ES: 0}} {
+		if v := DecodeFloat64CLZ(cfg, 0); v != 0 || math.Signbit(v) {
+			t.Errorf("%v: zero pattern decoded to %v", cfg, v)
+		}
+		if v := DecodeFloat64CLZ(cfg, cfg.NaR()); !math.IsNaN(v) {
+			t.Errorf("%v: NaR pattern decoded to %v", cfg, v)
+		}
+		agreeCLZ(t, cfg, cfg.MaxPosBits())
+		agreeCLZ(t, cfg, cfg.MinPosBits())
+		agreeCLZ(t, cfg, cfg.Negate(cfg.MaxPosBits()))
+		agreeCLZ(t, cfg, cfg.Negate(cfg.MinPosBits()))
+		agreeCLZ(t, cfg, cfg.NaR()+1) // most negative real
+	}
+}
+
+// TestDecodeFloat64DispatchesCLZ pins that the public decoder serves
+// posit32/posit64 through the CLZ path and that high garbage bits are
+// canonicalized identically on both paths.
+func TestDecodeFloat64DispatchesCLZ(t *testing.T) {
+	for _, cfg := range []Config{Std32, Std64} {
+		for _, b := range []uint64{0, 1, 0x40000000, 0x7FFFFFFF, 0xDEADBEEF, ^uint64(0)} {
+			got := DecodeFloat64(cfg, b)
+			want := DecodeFloat64CLZ(cfg, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v pattern %#x: DecodeFloat64 %v, CLZ %v", cfg, b, got, want)
+			}
+		}
+	}
+}

@@ -4,11 +4,14 @@ import "math"
 
 // DecodeFloat64 converts a posit bit pattern to float64.
 //
-// For the standard 8- and 16-bit configurations the decode is a
-// single lookup in a table precomputed at init (see lut.go); all
-// other configurations take the generic field-scan path. The two
-// paths agree bit for bit — lut_test.go proves it exhaustively — so
-// callers never observe which one served them.
+// Decoding is tiered by configuration (docs/ARCHITECTURE.md has the
+// full table): the standard 8- and 16-bit posits are a single lookup
+// in a table precomputed at init (see lut.go); the standard 32- and
+// 64-bit posits take the branchless CLZ fast path (see clz.go), whose
+// table would be impossibly large; every other configuration takes
+// the generic field-scan path. All paths agree bit for bit —
+// lut_test.go and clz_test.go prove it — so callers never observe
+// which one served them.
 //
 // Zero decodes to +0 and NaR to NaN.
 func DecodeFloat64(cfg Config, bitsIn uint64) float64 {
@@ -17,6 +20,8 @@ func DecodeFloat64(cfg Config, bitsIn uint64) float64 {
 		return decodeLUT8[bitsIn&0xFF]
 	case Std16:
 		return decodeLUT16[bitsIn&0xFFFF]
+	case Std32, Std64:
+		return DecodeFloat64CLZ(cfg, bitsIn)
 	}
 	return DecodeFloat64Generic(cfg, bitsIn)
 }

@@ -368,7 +368,11 @@ feed:
 			continue
 		}
 		sort.Slice(parts, func(a, b int) bool { return parts[a].status.BitLo < parts[b].status.BitLo })
-		var trials []core.Trial
+		total := 0
+		for _, p := range parts {
+			total += len(p.trials)
+		}
+		trials := make([]core.Trial, 0, total) // one exact allocation, not append-doubling
 		var elapsed time.Duration
 		for _, p := range parts {
 			trials = append(trials, p.trials...)
@@ -405,11 +409,20 @@ func specIndex(specs []Spec, sp Spec) int {
 	return -1
 }
 
-// runShard executes one shard with watchdog and bounded retry.
+// runShard executes one shard with watchdog and bounded retry. For
+// local computation it allocates the shard's trial buffer once and
+// reuses it across retry attempts (core.RunRangeInto fills it in
+// place) — unless an attempt was abandoned by the watchdog, in which
+// case the orphaned goroutine may still be writing into the buffer
+// and the next attempt must start from a fresh one.
 func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64) ([]core.Trial, ShardStatus) {
 	st := ShardStatus{Shard: sh, State: ShardFailed}
 	start := time.Now()
 	var lastErr error
+	var buf []core.Trial
+	if cfg.Execute == nil {
+		buf = make([]core.Trial, (sh.BitHi-sh.BitLo)*cfg.campaign.TrialsPerBit)
+	}
 	for attempt := 1; attempt <= cfg.maxRetries+1; attempt++ {
 		st.Attempts = attempt
 		if attempt > 1 {
@@ -421,12 +434,15 @@ func runShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, da
 				return nil, st
 			}
 		}
-		trials, err := attemptShard(ctx, cfg, codec, sh, data, attempt)
+		trials, abandoned, err := attemptShard(ctx, cfg, codec, sh, data, attempt, buf)
 		if err == nil {
 			st.State = ShardDone
 			st.Error = ""
 			st.DurationNS = int64(time.Since(start))
 			return trials, st
+		}
+		if abandoned {
+			buf = nil // still owned by the abandoned attempt's goroutine
 		}
 		if ctx.Err() != nil {
 			// The campaign itself is shutting down — not a shard fault.
@@ -480,13 +496,17 @@ func JitteredBackoff(base time.Duration, attempt int, key string) time.Duration 
 
 // attemptShard runs one attempt under the watchdog. The attempt body
 // executes in its own goroutine; if the watchdog (or the campaign
-// context) fires first, the attempt is abandoned — its goroutine
-// drains in the background via the shared cancelled context and its
-// result is discarded through the buffered channel. When Execute is
-// set the body dispatches remotely instead of computing locally; the
-// surrounding machinery is identical, which is how shard reassignment
-// away from a dead worker falls out of the ordinary retry loop.
-func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64, attempt int) ([]core.Trial, error) {
+// context) fires first, the attempt is abandoned (reported in the
+// second return) — its goroutine drains in the background via the
+// shared cancelled context and its result is discarded through the
+// buffered channel. Local computation fills buf in place via
+// core.RunRangeInto; an abandoned attempt keeps writing into it until
+// its context check, which is why runShard retires the buffer on
+// abandonment. When Execute is set the body dispatches remotely
+// instead of computing locally; the surrounding machinery is
+// identical, which is how shard reassignment away from a dead worker
+// falls out of the ordinary retry loop.
+func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard, data []float64, attempt int, buf []core.Trial) ([]core.Trial, bool, error) {
 	actx := ctx
 	cancel := func() {}
 	if cfg.shardTimeout > 0 {
@@ -510,14 +530,14 @@ func attemptShard(ctx context.Context, cfg *Config, codec numfmt.Codec, sh Shard
 			done <- outcome{trials, err}
 			return
 		}
-		trials, err := core.RunRange(actx, cfg.campaign, codec, sh.Field, data, sh.BitLo, sh.BitHi)
+		trials, err := core.RunRangeInto(actx, cfg.campaign, codec, sh.Field, data, sh.BitLo, sh.BitHi, buf)
 		done <- outcome{trials, err}
 	}()
 	select {
 	case out := <-done:
-		return out.trials, out.err
+		return out.trials, false, out.err
 	case <-actx.Done():
-		return nil, fmt.Errorf("runner: shard %s attempt %d: watchdog: %w", sh.ID(), attempt, actx.Err())
+		return nil, true, fmt.Errorf("runner: shard %s attempt %d: watchdog: %w", sh.ID(), attempt, actx.Err())
 	}
 }
 

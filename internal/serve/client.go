@@ -24,6 +24,7 @@ import (
 	"positres/internal/core"
 	"positres/internal/runner"
 	"positres/internal/spec"
+	"positres/internal/wire"
 )
 
 // APIError is a positserve error envelope surfaced client-side.
@@ -315,30 +316,57 @@ func (c *Client) RegisterWorker(ctx context.Context, workerURL string) error {
 	return c.do(ctx, http.MethodPost, "/v1/workers", workerRegistration{URL: workerURL}, nil, true)
 }
 
-// RunShard executes one shard on a worker (POST /v1/shards) and
-// parses the text/csv trial stream it returns. The trials are exact:
-// the CSV encoding round-trips float64 bit patterns losslessly, which
-// is what makes distributed campaigns byte-identical to local ones.
+// ShardWireStats describes how one shard response travelled — the
+// observability sidecar of RunShardStats, feeding the coordinator's
+// wire_frames / wire_bytes / wire_csv_fallbacks counters on /metrics.
+type ShardWireStats struct {
+	// Binary reports that the response was a packed trial frame
+	// (internal/wire); false means the worker fell back to CSV.
+	Binary bool
+	// BodyBytes is the response body size in bytes.
+	BodyBytes int64
+}
+
+// RunShard executes one shard on a worker (POST /v1/shards). It is
+// RunShardStats without the transport telemetry — the form external
+// callers (the positres facade) use.
+func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, error) {
+	trials, _, err := c.RunShardStats(ctx, req)
+	return trials, err
+}
+
+// RunShardStats executes one shard on a worker (POST /v1/shards) and
+// parses the trial stream it returns, reporting how the response
+// travelled. The client offers the packed binary trial encoding
+// (docs/WIRE.md) in Accept; a worker that speaks it answers with a
+// self-verifying frame, and any other worker streams text/csv exactly
+// as before — the trials are bit-identical either way, since both
+// encodings round-trip float64 patterns losslessly. That fallback is
+// the whole version-negotiation story: a mixed fleet degrades to CSV
+// per worker, never to wrong data.
 //
 // Two hardening measures guard the hop. The caller's context deadline
 // (the runner's shard watchdog) is forwarded in X-Positres-Deadline-Ms
 // so the worker abandons computation when the coordinator has already
-// given up. And when the worker sends the integrity envelope — the
-// X-Positres-Rows count header and X-Positres-Crc32 trailer — the
-// response is verified against both before any trial is returned: a
+// given up. And every response is verified before any trial is
+// returned — a binary frame through its length prefix, internal
+// CRC-32 and the X-Positres-Rows cross-check; a CSV body through the
+// X-Positres-Rows count and X-Positres-Crc32 trailer — so a
 // truncated or corrupted body is an error (and therefore a retryable
-// shard failure at the runner), never silently merged data. RunShard
-// itself never retries; the runner owns shard retry.
-func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, error) {
+// shard failure at the runner), never silently merged data.
+// RunShardStats itself never retries; the runner owns shard retry.
+func (c *Client) RunShardStats(ctx context.Context, req ShardRequest) ([]core.Trial, ShardWireStats, error) {
+	var stats ShardWireStats
 	raw, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("positserve client: encode shard: %w", err)
+		return nil, stats, fmt.Errorf("positserve client: encode shard: %w", err)
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/shards", bytes.NewReader(raw))
 	if err != nil {
-		return nil, fmt.Errorf("positserve client: shard: %w", err)
+		return nil, stats, fmt.Errorf("positserve client: shard: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", wire.ContentType+", text/csv")
 	if dl, ok := ctx.Deadline(); ok {
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
 			hreq.Header.Set(headerShardDeadline, strconv.FormatInt(ms, 10))
@@ -346,25 +374,60 @@ func (c *Client) RunShard(ctx context.Context, req ShardRequest) ([]core.Trial, 
 	}
 	resp, err := c.http.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("positserve client: shard: %w", err)
+		return nil, stats, fmt.Errorf("positserve client: shard: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeAPIError(resp)
+		return nil, stats, decodeAPIError(resp)
+	}
+
+	if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, wire.ContentType) {
+		stats.Binary = true
+		trials, n, err := wire.ReadFrame(resp.Body)
+		stats.BodyBytes = int64(n)
+		if err != nil {
+			return nil, stats, fmt.Errorf("positserve client: shard frame: %w", err)
+		}
+		if rowsHdr := resp.Header.Get(headerShardRows); rowsHdr != "" {
+			wantRows, aerr := strconv.Atoi(rowsHdr)
+			if aerr != nil {
+				return nil, stats, fmt.Errorf("positserve client: shard rows header %q: %w", rowsHdr, aerr)
+			}
+			if len(trials) != wantRows {
+				return nil, stats, fmt.Errorf("positserve client: shard frame carries %d rows, header announces %d", len(trials), wantRows)
+			}
+		}
+		return trials, stats, nil
 	}
 
 	crc := crc32.NewIEEE()
-	body := io.TeeReader(resp.Body, crc)
-	trials, err := core.ReadTrialsCSV(body)
+	counted := &countingReader{r: io.TeeReader(resp.Body, crc)}
+	trials, err := core.ReadTrialsCSV(counted)
 	if err != nil {
-		return nil, fmt.Errorf("positserve client: shard response: %w", err)
+		stats.BodyBytes = counted.n
+		return nil, stats, fmt.Errorf("positserve client: shard response: %w", err)
 	}
 	if rowsHdr := resp.Header.Get(headerShardRows); rowsHdr != "" {
-		if err := verifyShardIntegrity(resp, crc, rowsHdr, len(trials), body); err != nil {
-			return nil, err
+		if err := verifyShardIntegrity(resp, crc, rowsHdr, len(trials), counted); err != nil {
+			stats.BodyBytes = counted.n
+			return nil, stats, err
 		}
 	}
-	return trials, nil
+	stats.BodyBytes = counted.n
+	return trials, stats, nil
+}
+
+// countingReader counts the bytes its reads deliver.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+// Read implements io.Reader.
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // verifyShardIntegrity checks a shard response against its integrity

@@ -8,10 +8,12 @@ package serve
 // retry and exponential backoff drive reassignment — a dead or slow
 // worker is indistinguishable from a transient local fault, and the
 // shard simply lands on another worker on the next attempt. Because
-// workers return byte-exact trial CSVs and the coordinator journals
-// them through the same CRC-guarded records a local run uses, the
-// final campaign CSVs are byte-identical to a single-node run
-// (TestDistributedEquivalence pins this).
+// workers return byte-exact trials — packed binary frames
+// (docs/WIRE.md) from peers that speak them, CSV from ones that don't
+// — and the coordinator journals them through the same CRC-guarded
+// records a local run uses, the final campaign CSVs are
+// byte-identical to a single-node run (TestDistributedEquivalence and
+// TestMixedFleetEquivalence pin this).
 
 import (
 	"context"
@@ -165,7 +167,7 @@ func (d *dispatcher) dispatch(ctx context.Context, cs *spec.CampaignSpec, sh run
 	single := *cs
 	single.Fields = []string{sh.Field}
 	single.Formats = []string{sh.Codec}
-	trials, err := w.client.RunShard(ctx, ShardRequest{Spec: single, BitLo: sh.BitLo, BitHi: sh.BitHi})
+	trials, wireStats, err := w.client.RunShardStats(ctx, ShardRequest{Spec: single, BitLo: sh.BitLo, BitHi: sh.BitHi})
 
 	d.mu.Lock()
 	w.busy--
@@ -185,6 +187,7 @@ func (d *dispatcher) dispatch(ctx context.Context, cs *spec.CampaignSpec, sh run
 	if err != nil {
 		return nil, fmt.Errorf("worker %s: shard %s: %w", w.url, sh.ID(), err)
 	}
+	d.metrics.ObserveWire(wireStats.Binary, wireStats.BodyBytes)
 	return trials, nil
 }
 

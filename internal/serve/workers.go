@@ -1,8 +1,10 @@
 package serve
 
 // The worker protocol: POST /v1/shards computes one bit-range shard
-// and streams its trials back as text/csv (worker side), while
-// POST /v1/workers registers a worker with a coordinator and
+// and streams its trials back — as a packed binary frame
+// (internal/wire, docs/WIRE.md) when the coordinator offers
+// application/x-positres-trials in Accept, as text/csv otherwise —
+// while POST /v1/workers registers a worker with a coordinator and
 // GET /v1/workers lists the registered fleet (coordinator side).
 // Every positserve process serves all three — any instance can act as
 // coordinator, worker, or both — so a cluster is just N identical
@@ -24,6 +26,7 @@ import (
 	"positres/internal/numfmt"
 	"positres/internal/sdrbench"
 	"positres/internal/spec"
+	"positres/internal/wire"
 )
 
 // Shard integrity and deadline headers of the worker protocol. The
@@ -136,6 +139,32 @@ func (s *Server) handleRunShard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, codeInternal, "shard computation: %v", err)
 		return
 	}
+
+	// Binary negotiation (docs/WIRE.md): a coordinator that offers
+	// application/x-positres-trials in Accept gets a packed frame; any
+	// other client gets the CSV envelope below, unchanged — an old
+	// coordinator never sees a byte it cannot parse.
+	if wire.Accepts(r.Header.Get("Accept")) {
+		frame, ferr := wire.EncodeFrame(trials)
+		if ferr != nil { // unreachable for engine output; fail loud, not silent
+			writeError(w, http.StatusInternalServerError, codeInternal, "shard frame encode: %v", ferr)
+			return
+		}
+		// The frame is self-delimiting and self-verifying (length
+		// prefix + internal CRC-32), so it needs no trailer; the row
+		// count header stays as a cheap cross-check.
+		w.Header().Set(headerShardRows, strconv.Itoa(len(trials)))
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+		w.WriteHeader(http.StatusOK)
+		if _, werr := w.Write(frame); werr != nil {
+			// The coordinator sees a truncated frame (ErrTruncated) and
+			// retries the shard elsewhere.
+			fmt.Fprintln(os.Stderr, "positserve: shard frame stream:", werr)
+		}
+		return
+	}
+
 	// Integrity envelope: exact row count as a header (known before the
 	// body) and a CRC-32 of the CSV bytes as a declared trailer (known
 	// only after). A fault anywhere on the wire breaks at least one of

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"encoding/hex"
+	"os"
+	"strings"
+	"testing"
+
+	"positres/internal/bitflip"
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/qcat"
+)
+
+// docExampleHex is the worked example frame of docs/WIRE.md ("Worked
+// example"), byte for byte. The doc and the encoder must agree: if
+// the format changes, this constant, the doc's hex dump and the
+// Version constant all change together.
+const docExampleHex = "5600000050545257010f0a64656d6f2f6669656c64" +
+	"06706f7369743801086672616374696f6e01010004444600" +
+	"02000000000000f83f000000000000f83f000000000000fc3f" +
+	"000000000000d03f555555555555c53feed21a1e"
+
+// docExampleTrial rebuilds the example's single trial the way the
+// campaign engine would: a real posit8 encode, a bit-1 flip, a real
+// decode and the standard error metrics — so the doc's narrative
+// ("flip bit 1 of posit8(1.5)") is executable, not illustrative.
+func docExampleTrial(t *testing.T) core.Trial {
+	t.Helper()
+	codec, err := numfmt.Lookup("posit8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const v = 1.5
+	bits := codec.Encode(v)
+	faulty := bitflip.Flip(bits, 1)
+	tr := core.Trial{
+		Field: "demo/field", Codec: codec.Name(),
+		Bit: 1, Seq: 0, Index: 4,
+		OrigValue: v, ReprValue: codec.Decode(bits),
+		OrigBits: bits, FaultyBits: faulty, FaultyVal: codec.Decode(faulty),
+		FieldName: codec.FieldAt(bits, 1),
+	}
+	if sz, ok := codec.(numfmt.RegimeSizer); ok {
+		tr.RegimeK = sz.RegimeK(bits)
+	}
+	p := qcat.Point(v, tr.FaultyVal)
+	tr.AbsErr, tr.RelErr, tr.Catastrophic = p.AbsErr, p.RelErr, p.Catastrophic
+	return tr
+}
+
+// TestDocExampleRoundTrips pins docs/WIRE.md's worked example to the
+// implementation in both directions: encoding the example trial
+// yields exactly the documented bytes, and decoding the documented
+// bytes yields exactly the example trial.
+func TestDocExampleRoundTrips(t *testing.T) {
+	want, err := hex.DecodeString(docExampleHex)
+	if err != nil {
+		t.Fatalf("docExampleHex is not valid hex: %v", err)
+	}
+	tr := docExampleTrial(t)
+
+	frame, err := EncodeFrame([]core.Trial{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(frame); got != docExampleHex {
+		t.Fatalf("EncodeFrame no longer matches docs/WIRE.md's worked example;\n got %s\nwant %s\nupdate the doc and this constant together", got, docExampleHex)
+	}
+
+	trials, consumed, err := DecodeFrame(want)
+	if err != nil {
+		t.Fatalf("DecodeFrame(doc example): %v", err)
+	}
+	if consumed != len(want) || len(trials) != 1 {
+		t.Fatalf("doc example: consumed %d of %d bytes, %d trials", consumed, len(want), len(trials))
+	}
+	if !trialsEqual(&trials[0], &tr) {
+		t.Fatalf("doc example decoded to %+v, want %+v", trials[0], tr)
+	}
+
+	// Sanity-pin the narrative numbers the doc spells out.
+	if tr.OrigBits != 0x44 || tr.FaultyBits != 0x46 || tr.FaultyVal != 1.75 {
+		t.Fatalf("doc example trial drifted: %+v", tr)
+	}
+}
+
+// TestDocContainsExampleHex closes the doc↔code loop from the other
+// side: docs/WIRE.md's "as one hex string" block must carry exactly
+// docExampleHex (the doc wraps it across lines; whitespace is
+// insignificant). Together with TestDocExampleRoundTrips this makes
+// the published spec executable — the doc cannot drift from the
+// encoder without a test failing.
+func TestDocContainsExampleHex(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/WIRE.md")
+	if err != nil {
+		t.Fatalf("reading docs/WIRE.md: %v", err)
+	}
+	squeezed := strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\r' || r == '\t' {
+			return -1
+		}
+		return r
+	}, string(raw))
+	if !strings.Contains(squeezed, docExampleHex) {
+		t.Fatal("docs/WIRE.md no longer contains the worked-example frame hex; update the doc and docExampleHex together")
+	}
+}

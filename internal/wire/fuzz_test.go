@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"positres/internal/core"
+)
+
+// FuzzDecodeFrame drives arbitrary bytes through the frame decoder.
+// The decoder's contract under hostile input is narrow: return an
+// error or a valid trial slice, never panic, never over-consume, and
+// anything it does accept must re-encode to a decodable frame (the
+// round-trip closure property). `make fuzz-short` runs this alongside
+// the posit decoder fuzzers; scripts/ci.sh runs a seed-corpus smoke.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with real frames (valid, empty) and near-misses so the
+	// fuzzer starts at the format boundary instead of random noise.
+	good, err := EncodeFrame([]core.Trial{{
+		Field: "Nyx/temperature", Codec: "posit32",
+		Bit: 7, Seq: 3, Index: 11,
+		OrigValue: 1.5, ReprValue: 1.5,
+		OrigBits: 0x38000000, FaultyBits: 0x38000080, FaultyVal: 1.5000019073486328,
+		FieldName: "fraction", RegimeK: 1,
+		AbsErr: 1.9073486328125e-06, RelErr: 1.2715657552083333e-06,
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	empty, err := EncodeFrame(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte("PTRW"))
+	f.Add([]byte{4, 0, 0, 0, 'P', 'T', 'R', 'W'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		trials, consumed, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if consumed < 8 || consumed > len(data) {
+			t.Fatalf("accepted frame consumed %d of %d bytes", consumed, len(data))
+		}
+		// Whatever was accepted must survive a re-encode/decode cycle
+		// byte-for-byte at the trial level.
+		frame, err := EncodeFrame(trials)
+		if err != nil {
+			t.Fatalf("re-encode of accepted trials failed: %v", err)
+		}
+		again, _, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded trials failed: %v", err)
+		}
+		if len(again) != len(trials) {
+			t.Fatalf("round trip changed row count: %d -> %d", len(trials), len(again))
+		}
+		var a, b bytes.Buffer
+		if err := core.WriteTrialsCSV(&a, trials); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.WriteTrialsCSV(&b, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatal("round trip changed trial content")
+		}
+	})
+}

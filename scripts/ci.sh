@@ -3,11 +3,12 @@
 #
 # Runs every gate in order and fails fast: formatting, vet, build,
 # positlint (including a self-test that the linter still fires on its
-# fixtures), the positload chaos smoke, the short test suite, the
-# race-detector pass, and the e2e battery — kill-and-resume campaign,
-# kill-and-restart positserve, dead-worker cluster fan-out, and the
-# chaos-and-soak load run. Each step prints a banner so failures are
-# attributable at a glance.
+# fixtures), the positbench smoke (archived as artifacts/BENCH_PR9.json),
+# the wire-decoder fuzz smoke, the positload chaos smoke, the short
+# test suite, the race-detector pass, and the e2e battery —
+# kill-and-resume campaign, kill-and-restart positserve, dead-worker
+# cluster fan-out, and the chaos-and-soak load run. Each step prints a
+# banner so failures are attributable at a glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -66,14 +67,20 @@ done
 echo "fixtures trip as expected"
 
 banner "positbench smoke: benchmark driver runs and emits a valid baseline"
-bench_out=$(mktemp)
-trap 'rm -f "$bench_out"' EXIT
-$GO run ./cmd/positbench -smoke -out "$bench_out" >/dev/null
-grep -q '"schema": "positres-bench/v1"' "$bench_out" || {
+mkdir -p artifacts
+$GO run ./cmd/positbench -smoke -out artifacts/BENCH_PR9.json >/dev/null
+grep -q '"schema": "positres-bench/v1"' artifacts/BENCH_PR9.json || {
 	echo "positbench baseline missing schema tag"
 	exit 1
 }
-echo "ok"
+grep -q '"name": "wire_encode_shard"' artifacts/BENCH_PR9.json || {
+	echo "positbench baseline missing the wire codec benches"
+	exit 1
+}
+echo "ok (archived as artifacts/BENCH_PR9.json)"
+
+banner "wire fuzz smoke: 5s over the binary frame decoder"
+$GO test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire/
 
 banner "go test -short ./..."
 $GO test -short ./...

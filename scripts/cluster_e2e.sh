@@ -13,8 +13,11 @@
 #      coordinator must retry its failed dispatches on the surviving
 #      workers and still complete;
 #   4. the distributed CSVs must be byte-identical to the serial ones;
-#   5. the coordinator's /metrics must carry per-worker cluster gauges
-#      and a nonzero reassignment count after the kill.
+#   5. the coordinator's /metrics must carry per-worker cluster gauges,
+#      a nonzero reassignment count after the kill, and nonzero binary
+#      wire counters — every shard in a current-version fleet travels
+#      as a packed frame (docs/WIRE.md), so wire_frames > 0 and
+#      wire_bytes > 0 with zero CSV fallbacks.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -170,7 +173,22 @@ echo "$metrics" | grep -q '"reassignments": [1-9]' || {
 	echo "$metrics"
 	exit 1
 }
-echo "cluster metrics OK (3 workers, reassignments recorded)"
+echo "$metrics" | grep -q '"wire_frames": [1-9]' || {
+	echo "no binary wire frames recorded; shards did not negotiate the packed encoding"
+	echo "$metrics"
+	exit 1
+}
+echo "$metrics" | grep -q '"wire_bytes": [1-9]' || {
+	echo "wire_bytes is zero despite binary frames"
+	echo "$metrics"
+	exit 1
+}
+echo "$metrics" | grep -q '"wire_csv_fallbacks": 0' || {
+	echo "CSV fallbacks recorded in an all-current fleet (version skew?)"
+	echo "$metrics"
+	exit 1
+}
+echo "cluster metrics OK (3 workers, reassignments recorded, all shards binary)"
 
 echo "--- distributed outputs must be byte-identical to the serial baseline"
 for name in posit16.csv ieee32.csv; do

@@ -21,7 +21,12 @@
 #      serial baseline — corruption that slipped past the integrity
 #      check would show up here;
 #   6. the front proxy's stats dump must show it actually injected
-#      faults (a chaos e2e that ran without chaos proves nothing).
+#      faults (a chaos e2e that ran without chaos proves nothing);
+#   7. the coordinator's /metrics must show nonzero binary wire
+#      traffic (wire_frames, wire_bytes) and zero CSV fallbacks —
+#      shards negotiated the packed encoding (docs/WIRE.md) even
+#      through the corrupting proxies, whose frame damage surfaces as
+#      retried shard failures, never as fallbacks or merged data.
 #
 # The front proxy deliberately carries no truncate/corrupt faults:
 # only the /v1/shards path has the CRC trailer envelope, so body
@@ -193,6 +198,25 @@ echo "--- soak CSV must be byte-identical to the serial baseline"
 }
 cmp "$TMP/baseline/$CSV_NAME" "$TMP/chaos-out/$CSV_NAME"
 echo "identical: $CSV_NAME"
+
+echo "--- coordinator /metrics must show binary wire traffic, no CSV fallbacks"
+coord_metrics=$($CURL "$COORD_BASE/metrics")
+echo "$coord_metrics" | grep -q '"wire_frames": [1-9]' || {
+	echo "no binary wire frames recorded during the soak"
+	echo "$coord_metrics"
+	exit 1
+}
+echo "$coord_metrics" | grep -q '"wire_bytes": [1-9]' || {
+	echo "wire_bytes is zero despite binary frames"
+	echo "$coord_metrics"
+	exit 1
+}
+echo "$coord_metrics" | grep -q '"wire_csv_fallbacks": 0' || {
+	echo "CSV fallbacks recorded in an all-current fleet (version skew?)"
+	echo "$coord_metrics"
+	exit 1
+}
+echo "wire counters OK"
 
 echo "--- the front proxy must actually have injected faults"
 kill -TERM "$FRONT_PID"
