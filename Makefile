@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet lint lint-fix lint-json lint-prune race ci resume-e2e serve-e2e cluster-e2e chaos-e2e load load-smoke serve bench bench-json bench-go report report-paper fuzz fuzz-short examples clean
+.PHONY: all build test test-short vet lint lint-fix lint-json lint-prune race ci resume-e2e serve-e2e cluster-e2e chaos-e2e load load-smoke serve bench bench-json bench-compare bench-go store-smoke report report-paper fuzz fuzz-short examples clean
 
 all: build vet lint test
 
@@ -99,7 +99,20 @@ bench:
 	$(GO) run ./cmd/positbench
 
 bench-json:
-	$(GO) run ./cmd/positbench -out BENCH_PR9.json
+	$(GO) run ./cmd/positbench -out BENCH_PR10.json
+
+# Informational perf trajectory: rerun the suite and print it next to
+# the previous PR's committed baseline (never fails on numbers).
+bench-compare:
+	$(GO) run ./cmd/positbench -compare BENCH_PR9.json
+
+# Bounded-memory columnar-store equivalence check (docs/STORE.md): a
+# 10⁷-trial campaign streamed shard-by-shard into a .pts store under a
+# small GOMEMLIMIT, its rendered CSV SHA-256-compared against the
+# direct encoder and its footer aggregates schema-validated.
+store-smoke:
+	GOMEMLIMIT=256MiB $(GO) run ./cmd/positstore smoke \
+		-format posit16 -n 1000000 -trials 625000 -bits-per-shard 1
 
 # Raw `go test` benchmarks (the figure-regeneration harness in
 # bench_test.go), for ad-hoc -bench=regexp runs.
@@ -123,6 +136,8 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzQuireFMA -fuzztime 30s ./internal/posit/
 	$(GO) test -fuzz FuzzDecodeFrame -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzFooterIndex -fuzztime 30s ./internal/store/
+	$(GO) test -fuzz FuzzOpen -fuzztime 30s ./internal/store/
 
 # Smoke-test the fuzzers (5s each) — quick enough for every PR.
 # -run '^$' skips the package's (heavy, exhaustive) unit tests so each
@@ -134,6 +149,8 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/posit/
 	$(GO) test -run '^$$' -fuzz FuzzQuireFMA -fuzztime 5s ./internal/posit/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzFooterIndex -fuzztime 5s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 5s ./internal/store/
 
 examples:
 	$(GO) run ./examples/quickstart

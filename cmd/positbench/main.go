@@ -27,11 +27,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"positres/internal/artifact"
 	"positres/internal/atomicio"
 	"positres/internal/core"
 	"positres/internal/ecc"
@@ -41,6 +43,7 @@ import (
 	"positres/internal/sdrbench"
 	"positres/internal/serve"
 	"positres/internal/spec"
+	"positres/internal/store"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
 	"positres/internal/wire"
@@ -86,6 +89,7 @@ func run(args []string, stdout io.Writer) int {
 	outPath := fs.String("out", "", "write the JSON baseline to this file (atomic rename)")
 	smoke := fs.Bool("smoke", false, "tiny budgets for CI smoke runs (1 iteration per bench)")
 	benchtime := fs.String("benchtime", "", "per-benchmark budget (go test -benchtime syntax; default 0.2s, smoke 1x)")
+	comparePath := fs.String("compare", "", "diff this run against a prior baseline JSON (schema-checked) after measuring")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -190,6 +194,20 @@ func run(args []string, stdout io.Writer) int {
 	if c, ok := byName["campaign_posit32"]; ok {
 		rep.Derived["campaign_injections_per_sec"] = c.Metrics["injections/s"]
 	}
+	if sa, ok := byName["store_append_shard"]; ok {
+		rep.Derived["store_append_allocs_per_op"] = float64(sa.AllocsPerOp)
+		if tps := sa.Metrics["trials_per_shard"]; tps > 0 && sa.NsPerOp > 0 {
+			rep.Derived["store_append_trials_per_sec"] = tps / (sa.NsPerOp / 1e9)
+		}
+	}
+	if fa, ok := byName["fig_from_aggregates"]; ok {
+		if rr, ok2 := byName["store_render_csv"]; ok2 && fa.NsPerOp > 0 {
+			// How much cheaper the aggregate path is than even one CSV
+			// render of the same store (a full-campaign rescan would be
+			// larger still).
+			rep.Derived["agg_figure_vs_render_speedup"] = rr.NsPerOp / fa.NsPerOp
+		}
+	}
 	if one, ok := byName["cluster_campaign_1worker"]; ok {
 		if three, ok3 := byName["cluster_campaign_3workers"]; ok3 && three.NsPerOp > 0 {
 			rep.Derived["cluster_scaleout_3v1"] = one.NsPerOp / three.NsPerOp
@@ -200,7 +218,9 @@ func run(args []string, stdout io.Writer) int {
 	for _, k := range []string{"posit8_decode_speedup", "posit16_decode_speedup",
 		"posit32_decode_speedup", "posit64_decode_speedup",
 		"wire_encode_speedup", "wire_decode_speedup", "wire_csv_size_ratio",
-		"campaign_injections_per_sec", "cluster_scaleout_3v1"} {
+		"campaign_injections_per_sec", "cluster_scaleout_3v1",
+		"store_append_allocs_per_op", "store_append_trials_per_sec",
+		"agg_figure_vs_render_speedup"} {
 		if v, ok := rep.Derived[k]; ok {
 			fmt.Fprintf(stdout, "%s: %.2f\n", k, v)
 		}
@@ -218,7 +238,60 @@ func run(args []string, stdout io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "baseline: %s\n", *outPath)
 	}
+	if *comparePath != "" {
+		if err := compareBaseline(stdout, *comparePath, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "positbench:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// compareBaseline diffs this run against a committed baseline: shared
+// benchmarks by ns/op ratio, plus every derived metric side by side.
+// The old document's schema tag is verified before anything is
+// trusted — a /v2 baseline (or a non-bench JSON) is refused, not
+// misread. The diff is informational: performance gating stays a human
+// judgement (docs/PERF.md), so mismatched numbers never fail the run.
+func compareBaseline(stdout io.Writer, path string, cur *Report) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if err := artifact.CheckSchema(old.Schema, ReportSchema); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if old.Smoke || cur.Smoke {
+		fmt.Fprintf(stdout, "compare: smoke baselines are not comparable (old smoke=%v, new smoke=%v); showing anyway\n",
+			old.Smoke, cur.Smoke)
+	}
+	oldBy := map[string]BenchResult{}
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	t := &textplot.Table{Header: []string{"benchmark", "old ns/op", "new ns/op", "new/old", "allocs old→new"}}
+	for _, b := range cur.Benchmarks {
+		o, ok := oldBy[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			continue
+		}
+		t.AddRow(b.Name, fmt.Sprintf("%.1f", o.NsPerOp), fmt.Sprintf("%.1f", b.NsPerOp),
+			fmt.Sprintf("%.2f", b.NsPerOp/o.NsPerOp),
+			fmt.Sprintf("%d→%d", o.AllocsPerOp, b.AllocsPerOp))
+	}
+	fmt.Fprintf(stdout, "compare vs %s (%s, go %s):\n%s", path, old.GitSHA, old.GoVersion, t.Render())
+	for k, v := range cur.Derived {
+		if ov, ok := old.Derived[k]; ok {
+			fmt.Fprintf(stdout, "derived %s: %.2f -> %.2f\n", k, ov, v)
+		} else {
+			fmt.Fprintf(stdout, "derived %s: (new) %.2f\n", k, v)
+		}
+	}
+	return nil
 }
 
 // gitSHA best-effort resolves the current commit for provenance; a
@@ -424,6 +497,14 @@ func benchCases(budget figures.Budget) []benchCase {
 		// overhead of shipping trials as CSV.
 		{"cluster_campaign_1worker", benchClusterCampaign(1, budget)},
 		{"cluster_campaign_3workers", benchClusterCampaign(3, budget)},
+		// The columnar trial store: shard append (encode + online
+		// aggregation, the runner's sink path), CSV render from columns
+		// (what GET /results streams), and a figure built purely from
+		// the footer aggregates — no trial rescan, so its cost is
+		// O(bits) however large the campaign was.
+		{"store_append_shard", benchStoreAppend(budget)},
+		{"store_render_csv", benchStoreRender(budget)},
+		{"fig_from_aggregates", benchFigFromAggs(budget)},
 		// Representative figure regenerations.
 		{"fig_table1_summary", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -561,6 +642,97 @@ func benchCSVDecode(budget figures.Budget) func(*testing.B) {
 				b.Fatal(err)
 			}
 			sinkU64 = uint64(len(trials))
+		}
+	}
+}
+
+// storeShard builds a sealed one-shard store for the render and
+// aggregate benches, returning its path.
+func storeShard(b *testing.B, budget figures.Budget, dir string) string {
+	b.Helper()
+	trials := shardTrials(b, budget)
+	path := filepath.Join(dir, store.FileName("Hurricane/Vf30", "posit32"))
+	w, err := store.NewWriter(path, "Hurricane/Vf30", "posit32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.AppendShard(0, 32, trials); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchStoreAppend measures the runner-sink hot path: one shard's
+// trials encoded as a columnar block and folded into the per-bit
+// aggregates, over a reused writer. Allocs/op here is the store's
+// steady-state append cost (BENCH_PR10's acceptance number).
+func benchStoreAppend(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		trials := shardTrials(b, budget)
+		w, err := store.NewWriter(filepath.Join(b.TempDir(), "append.pts"), "Hurricane/Vf30", "posit32")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Abort()
+		// Warm the scratch buffers and sketch buckets out of the
+		// measurement, as a long campaign would.
+		if err := w.AppendShard(0, 32, trials); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := w.AppendShard(0, 32, trials); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(trials)), "trials_per_shard")
+	}
+}
+
+// benchStoreRender measures RenderCSV of one sealed shard — the
+// on-demand CSV path behind GET /results.
+func benchStoreRender(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		rd, err := store.Open(storeShard(b, budget, b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rd.RenderCSV(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(rd.Rows()), "rows")
+	}
+}
+
+// benchFigFromAggs measures a per-bit figure assembled from the store
+// footer alone — the aggregate-driven positreport path. No trial row
+// is decoded; the whole build is O(bits).
+func benchFigFromAggs(budget figures.Budget) func(*testing.B) {
+	return func(b *testing.B) {
+		rd, err := store.Open(storeShard(b, budget, b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rd.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			aggs := rd.BitAggs()
+			c := figures.AggChart("bench", []textplot.Series{figures.AggSeries("posit32", aggs)})
+			if len(c.Series[0].X) == 0 {
+				b.Fatal("empty aggregate series")
+			}
 		}
 	}
 }

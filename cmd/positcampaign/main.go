@@ -43,6 +43,7 @@ import (
 	"positres/internal/runner"
 	"positres/internal/sdrbench"
 	"positres/internal/spec"
+	"positres/internal/store"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
@@ -68,6 +69,7 @@ func run() int {
 		seed         = flag.Uint64("seed", 1, "campaign seed (reproducible)")
 		workers      = flag.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
 		outDir       = flag.String("out", "", "directory for per-(field,format) trial CSVs, journal and manifest")
+		storeOut     = flag.String("store-out", "", "stream trials into columnar .pts stores in this directory (bounded memory; implies no trial slab)")
 		keepZeros    = flag.Bool("keep-zeros", false, "allow zero-valued elements to be selected")
 		resume       = flag.Bool("resume", false, "continue the campaign journaled in -out")
 		shardTimeout = flag.Duration("shard-timeout", 10*time.Minute, "per-shard watchdog; a stuck shard is abandoned and retried (0 disables)")
@@ -113,6 +115,10 @@ func run() int {
 	}
 	if *resume && *outDir == "" {
 		fmt.Fprintln(os.Stderr, "positcampaign: -resume requires -out (the journal lives there)")
+		return exitUsage
+	}
+	if *storeOut != "" && *dataFlag != "" {
+		fmt.Fprintln(os.Stderr, "positcampaign: -store-out applies to sharded campaigns, not -data runs")
 		return exitUsage
 	}
 	// One canonical campaign description: the same spec.CampaignSpec
@@ -193,7 +199,17 @@ func run() int {
 		return exitOK
 	}
 
-	// Synthetic data: durable sharded campaign matrix.
+	// Synthetic data: durable sharded campaign matrix. With -store-out
+	// trials stream shard by shard into columnar .pts stores instead of
+	// accumulating in memory, so campaign size no longer bounds RSS.
+	var cw *store.CampaignWriter
+	if *storeOut != "" {
+		if err := os.MkdirAll(*storeOut, 0o755); err != nil {
+			return fatal(err)
+		}
+		cw = store.NewCampaignWriter(*storeOut)
+		defer cw.Abort() // no-op for stores Seal already committed
+	}
 	var doneShards int32
 	rcfg := runner.Config{
 		Spec:    cs,
@@ -220,6 +236,9 @@ func run() int {
 			}
 		},
 	}
+	if cw != nil {
+		rcfg.Sink = cw
+	}
 	rep, err := runner.Run(ctx, rcfg)
 	if err != nil {
 		return fatal(err)
@@ -237,7 +256,11 @@ func run() int {
 		if res == nil {
 			continue
 		}
-		if err := report(res, res.Elapsed, *outDir); err != nil {
+		if cw != nil {
+			if err := storeReport(res, cw, *storeOut); err != nil {
+				return fatal(err)
+			}
+		} else if err := report(res, res.Elapsed, *outDir); err != nil {
 			return fatal(err)
 		}
 		published++
@@ -256,7 +279,7 @@ func run() int {
 // path, no matter when the process dies.
 func report(res *core.Result, elapsed time.Duration, outDir string) error {
 	fmt.Printf("== %s / %s: %d trials in ~%v\n", res.Field, res.Codec, len(res.Trials), elapsed.Round(time.Millisecond))
-	printSummary(res)
+	printSummary(core.AggregateByBit(res.Trials))
 	if outDir == "" {
 		return nil
 	}
@@ -272,9 +295,28 @@ func report(res *core.Result, elapsed time.Duration, outDir string) error {
 	return nil
 }
 
-func printSummary(res *core.Result) {
+// storeReport seals one (field, format) store and prints its summary
+// straight from the footer aggregates — no trial slab exists to scan.
+func storeReport(res *core.Result, cw *store.CampaignWriter, storeDir string) error {
+	if err := cw.Seal(res.Field, res.Codec); err != nil {
+		return err
+	}
+	path := filepath.Join(storeDir, store.FileName(res.Field, res.Codec))
+	rd, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s / %s: %d trials in ~%v\n", res.Field, res.Codec, rd.Rows(), res.Elapsed.Round(time.Millisecond))
+	printSummary(rd.BitAggs())
+	if err := rd.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   store: %s\n", path)
+	return nil
+}
+
+func printSummary(aggs []core.BitAgg) {
 	t := &textplot.Table{Header: []string{"bits", "mean rel err", "median rel err", "max rel err", "catastrophic"}}
-	aggs := core.AggregateByBit(res.Trials)
 	// Condense to field-level rows: group aggregate bits into quarters.
 	width := len(aggs)
 	quarter := (width + 3) / 4

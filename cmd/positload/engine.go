@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	schemacheck "positres/internal/artifact"
 	"positres/internal/atomicio"
 	"positres/internal/chaos"
 	"positres/internal/numfmt"
@@ -403,6 +404,52 @@ func evalBudget(cfg loadConfig, art *artifact) budgetReport {
 				time.Duration(art.Inject.P99NS), cfg.MaxP99))
 	}
 	return b
+}
+
+// readArtifact parses a previously written positres-load/v1 document,
+// refusing anything else via the shared schema check. It is the read
+// half of the load-trajectory loop: `-baseline OLD.json` feeds the
+// prior committed artifact (LOAD_PR10.json and successors) back
+// through it for comparison.
+func readArtifact(r io.Reader) (*artifact, error) {
+	var a artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("positload: decode artifact: %w", err)
+	}
+	if err := schemacheck.CheckSchema(a.Schema, artifactSchema); err != nil {
+		return nil, fmt.Errorf("positload: %w", err)
+	}
+	return &a, nil
+}
+
+// compareBaseline prints an informational trajectory diff against a
+// prior artifact. Load numbers are environment-sensitive, so — like
+// positbench -compare — this never turns a regression into an exit
+// code; the budget flags stay the only automated gate (docs/PERF.md).
+func (a *artifact) compareBaseline(w io.Writer, old *artifact) {
+	fmt.Fprintf(w, "positload: baseline %s (%s, %v)\n", old.Target, old.FinishedAt,
+		time.Duration(old.DurationNS).Round(time.Millisecond))
+	ratio := func(oldNS, newNS int64) string {
+		if oldNS <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fx", float64(newNS)/float64(oldNS))
+	}
+	fmt.Fprintf(w, "positload:   inject p50 %v -> %v (%s), p99 %v -> %v (%s)\n",
+		time.Duration(old.Inject.P50NS).Round(time.Microsecond),
+		time.Duration(a.Inject.P50NS).Round(time.Microsecond),
+		ratio(old.Inject.P50NS, a.Inject.P50NS),
+		time.Duration(old.Inject.P99NS).Round(time.Microsecond),
+		time.Duration(a.Inject.P99NS).Round(time.Microsecond),
+		ratio(old.Inject.P99NS, a.Inject.P99NS))
+	fmt.Fprintf(w, "positload:   qps %.1f -> %.1f, error rate %.4f -> %.4f\n",
+		old.Inject.AchievedQPS, a.Inject.AchievedQPS,
+		old.Budget.ErrorRate, a.Budget.ErrorRate)
+	fmt.Fprintf(w, "positload:   campaigns completed %d -> %d, round-trip p99 %v -> %v (%s)\n",
+		old.Campaigns.Completed, a.Campaigns.Completed,
+		time.Duration(old.Campaigns.P99NS).Round(time.Millisecond),
+		time.Duration(a.Campaigns.P99NS).Round(time.Millisecond),
+		ratio(old.Campaigns.P99NS, a.Campaigns.P99NS))
 }
 
 // write persists the artifact atomically.

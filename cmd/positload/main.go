@@ -66,6 +66,7 @@ func run() int {
 		maxErrorRate  = fs.Float64("max-error-rate", 0.01, "error budget: max fraction of failed operations")
 		maxP99        = fs.Duration("max-p99", 0, "error budget: inject p99 latency ceiling (0 = unchecked)")
 		out           = fs.String("out", "", "write the positres-load/v1 JSON artifact here")
+		baseline      = fs.String("baseline", "", "prior positres-load/v1 artifact to print a trajectory comparison against (informational)")
 		campaignOut   = fs.String("campaign-out", "", "directory to publish final campaign CSVs into (for byte-comparison)")
 		retryAttempts = fs.Int("retry-attempts", 4, "client retry budget per idempotent request")
 		retryBase     = fs.Duration("retry-base", 100*time.Millisecond, "client retry backoff base delay")
@@ -141,6 +142,20 @@ func run() int {
 		fmt.Printf("positload: artifact written to %s\n", *out)
 	}
 	art.print(os.Stdout)
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "positload:", err)
+			return exitFatal
+		}
+		old, err := readArtifact(f)
+		_ = f.Close() // read-only handle; the parse error dominates
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitFatal
+		}
+		art.compareBaseline(os.Stdout, old)
+	}
 	if len(art.Budget.Violations) > 0 {
 		return exitViolated
 	}

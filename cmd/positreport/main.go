@@ -19,6 +19,7 @@ import (
 	"positres/internal/atomicio"
 	"positres/internal/core"
 	"positres/internal/figures"
+	"positres/internal/store"
 	"positres/internal/textplot"
 )
 
@@ -128,55 +129,94 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// offline renders a Fig. 10-style chart and a field-error summary from
-// every campaign CSV in dir — the paper's "write them to a log file in
-// CSV form for offline analysis and visualization" step.
+// offline renders a Fig. 10-style chart and per-input summaries from
+// every campaign artifact in dir — the paper's "write them to a log
+// file in CSV form for offline analysis and visualization" step, grown
+// to three input shapes: trial CSV logs, sealed .pts trial stores, and
+// positres-aggregate/v1 JSON documents (what Client.FetchAggregate
+// saves). Stores and aggregate documents render from their footer
+// summaries alone — O(bits) per input, no trial rescan — so a
+// 10⁷-trial campaign plots in milliseconds.
 func offline(dir string) error {
-	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
-	if err != nil {
-		return err
-	}
-	if len(paths) == 0 {
-		return fmt.Errorf("no .csv campaign logs in %s", dir)
-	}
-	sort.Strings(paths)
-	chart := &textplot.LineChart{
-		Title:  "Offline: mean relative error per bit (from campaign logs)",
-		XLabel: "bit position (0 = LSB)",
-		YLabel: "mean relative error",
-		LogY:   true,
-		Height: 24,
-	}
-	summary := &textplot.Table{Header: []string{
-		"log", "trials", "catastrophic", "field", "mean rel err (finite)",
-	}}
-	for _, path := range paths {
-		f, err := os.Open(path)
+	var paths []string
+	for _, pat := range []string{"*.csv", "*.pts", "*.json"} {
+		m, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return err
 		}
-		trials, err := core.ReadTrialsCSV(f)
-		_ = f.Close() // read-only handle; the CSV error below dominates
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if len(trials) == 0 {
-			continue
-		}
-		label := trials[0].Codec + " " + trials[0].Field
-		aggs := core.AggregateByBit(trials)
-		s := textplot.Series{Name: label}
-		for _, a := range aggs {
-			s.X = append(s.X, float64(a.Bit))
-			s.Y = append(s.Y, a.MeanRelErr)
-		}
-		chart.Series = append(chart.Series, s)
-		for name, agg := range core.FieldErrorSummary(trials) {
-			summary.AddRow(filepath.Base(path), fmt.Sprintf("%d", agg.Trials),
-				fmt.Sprintf("%d", agg.Catastrophic), name, fmt.Sprintf("%.3g", agg.MeanRelErr))
+		paths = append(paths, m...)
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no campaign artifacts (.csv, .pts, .json) in %s", dir)
+	}
+	sort.Strings(paths)
+	var series []textplot.Series
+	var aggRows []figures.AggSummaryRow
+	fieldSummary := &textplot.Table{Header: []string{
+		"log", "trials", "catastrophic", "field", "mean rel err (finite)",
+	}}
+	haveFieldRows := false
+	for _, path := range paths {
+		switch filepath.Ext(path) {
+		case ".pts":
+			rd, err := store.Open(path)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			aggs := rd.BitAggs()
+			label := rd.Codec() + " " + rd.Field()
+			if err := rd.Close(); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			series = append(series, figures.AggSeries(label, aggs))
+			aggRows = append(aggRows, figures.AggSummaryRow{Source: filepath.Base(path), Aggs: aggs})
+		case ".json":
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			doc, err := store.ReadDoc(f)
+			_ = f.Close() // read-only handle; the parse error below dominates
+			if err != nil {
+				// Not every .json in a results directory is an aggregate
+				// document (job.json, telemetry snapshots); skip quietly.
+				continue
+			}
+			aggs := doc.BitAggs()
+			series = append(series, figures.AggSeries(doc.Codec+" "+doc.Field, aggs))
+			aggRows = append(aggRows, figures.AggSummaryRow{Source: filepath.Base(path), Aggs: aggs})
+		default: // .csv
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			trials, err := core.ReadTrialsCSV(f)
+			_ = f.Close() // read-only handle; the CSV error below dominates
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if len(trials) == 0 {
+				continue
+			}
+			label := trials[0].Codec + " " + trials[0].Field
+			series = append(series, figures.AggSeries(label, core.AggregateByBit(trials)))
+			for name, agg := range core.FieldErrorSummary(trials) {
+				fieldSummary.AddRow(filepath.Base(path), fmt.Sprintf("%d", agg.Trials),
+					fmt.Sprintf("%d", agg.Catastrophic), name, fmt.Sprintf("%.3g", agg.MeanRelErr))
+				haveFieldRows = true
+			}
 		}
 	}
+	if len(series) == 0 {
+		return fmt.Errorf("no renderable campaign artifacts in %s", dir)
+	}
+	chart := figures.AggChart("Offline: mean relative error per bit (from campaign artifacts)", series)
 	fmt.Println(chart.Render())
-	fmt.Println(summary.Render())
+	if haveFieldRows {
+		fmt.Println(fieldSummary.Render())
+	}
+	if len(aggRows) > 0 {
+		fmt.Println(figures.AggSummaryTable(aggRows).Render())
+	}
 	return nil
 }

@@ -1,0 +1,254 @@
+// Command positstore inspects and exercises columnar .pts trial
+// stores (docs/STORE.md).
+//
+// Usage:
+//
+//	positstore cat FILE.pts              # stream the rows as CSV
+//	positstore agg FILE.pts              # print the positres-aggregate/v1 JSON
+//	positstore verify FILE.pts ...       # full-file CRC verification
+//	positstore smoke [flags]             # bounded-memory equivalence check
+//
+// smoke is the CI driver for the store's two core guarantees: a
+// campaign streamed shard by shard into a store renders CSV
+// byte-identical (SHA-256-compared) to the direct core.WriteTrialsCSV
+// path, and the footer aggregates form a valid aggregate document —
+// all without ever holding more than one shard of trials in memory,
+// so it runs a 10⁷-trial campaign under a small GOMEMLIMIT.
+//
+// Exit codes: 0 ok; 1 failure; 2 usage.
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"positres/internal/core"
+	"positres/internal/numfmt"
+	"positres/internal/sdrbench"
+	"positres/internal/store"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "cat":
+		err = catCmd(args[1:])
+	case "agg":
+		err = aggCmd(args[1:])
+	case "verify":
+		err = verifyCmd(args[1:])
+	case "smoke":
+		err = smokeCmd(args[1:])
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "positstore:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: positstore <cat|agg|verify|smoke> ...
+  cat FILE.pts            stream the trial rows as CSV on stdout
+  agg FILE.pts            print the aggregate summary document as JSON
+  verify FILE.pts ...     verify every CRC in each file
+  smoke [flags]           bounded-memory store-vs-direct equivalence check`)
+}
+
+// withReader opens one store argument and hands it to fn, closing on
+// every path.
+func withReader(args []string, fn func(*store.Reader) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one FILE.pts argument")
+	}
+	rd, err := store.Open(args[0])
+	if err != nil {
+		return err
+	}
+	if err := fn(rd); err != nil {
+		_ = rd.Close()
+		return err
+	}
+	return rd.Close()
+}
+
+// catCmd renders the store's rows as CSV on stdout — byte-identical
+// to what core.WriteTrialsCSV would emit for the same trials.
+func catCmd(args []string) error {
+	return withReader(args, func(rd *store.Reader) error {
+		return rd.RenderCSV(os.Stdout)
+	})
+}
+
+// aggCmd prints the store's aggregate document as indented JSON.
+func aggCmd(args []string) error {
+	return withReader(args, func(rd *store.Reader) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rd.Doc())
+	})
+}
+
+// verifyCmd runs the full CRC walk over each file, reporting per-file.
+func verifyCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("expected FILE.pts arguments")
+	}
+	for _, path := range args {
+		rd, err := store.Open(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		verr := rd.Verify()
+		rows, blocks := rd.Rows(), rd.Blocks()
+		if cerr := rd.Close(); cerr != nil && verr == nil {
+			verr = cerr
+		}
+		if verr != nil {
+			return fmt.Errorf("%s: %w", path, verr)
+		}
+		fmt.Printf("%s: ok (%d rows, %d blocks)\n", path, rows, blocks)
+	}
+	return nil
+}
+
+// smokeCmd streams one (field, format) campaign into a store shard by
+// shard while hashing the direct CSV encoding of the same trials, then
+// compares the store's rendered CSV against it and validates the
+// aggregate document. Peak trial residency is one shard, so the whole
+// check runs in bounded memory regardless of -trials.
+func smokeCmd(args []string) error {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	var (
+		field        = fs.String("field", "CESM/CLOUD", "sdrbench field key")
+		format       = fs.String("format", "posit16", "number format")
+		n            = fs.Int("n", 100_000, "synthetic elements")
+		trials       = fs.Int("trials", 1000, "trials per bit position")
+		bitsPerShard = fs.Int("bits-per-shard", 1, "bit positions per appended shard")
+		seed         = fs.Uint64("seed", 1, "campaign seed")
+		dir          = fs.String("dir", "", "working directory (default: a temp dir)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := numfmt.Lookup(*format)
+	if err != nil {
+		return err
+	}
+	f, err := sdrbench.Lookup(*field)
+	if err != nil {
+		return err
+	}
+	data := sdrbench.ToFloat64(f.Generate(*n, *seed))
+
+	workDir := *dir
+	if workDir == "" {
+		workDir, err = os.MkdirTemp("", "positstore-smoke-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(workDir)
+	}
+	path := filepath.Join(workDir, store.FileName(*field, *format))
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TrialsPerBit = *trials
+	cfg.Workers = 1 // serial: the deterministic zero-alloc campaign loop
+
+	w, err := store.NewWriter(path, *field, *format)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+
+	directHash := sha256.New()
+	rowBuf := core.AppendTrialHeader(nil)
+	if _, err := directHash.Write(rowBuf); err != nil {
+		return err
+	}
+	var shard []core.Trial
+	width := codec.Width()
+	totalRows := uint64(0)
+	start := time.Now()
+	for lo := 0; lo < width; lo += *bitsPerShard {
+		hi := lo + *bitsPerShard
+		if hi > width {
+			hi = width
+		}
+		shard, err = core.RunRangeInto(context.Background(), cfg, codec, *field, data, lo, hi, shard[:0])
+		if err != nil {
+			return err
+		}
+		if err := w.AppendShard(lo, hi, shard); err != nil {
+			return err
+		}
+		for i := range shard {
+			rowBuf = core.AppendTrialRow(rowBuf[:0], &shard[i])
+			if _, err := directHash.Write(rowBuf); err != nil {
+				return err
+			}
+		}
+		totalRows += uint64(len(shard))
+	}
+	if err := w.Seal(); err != nil {
+		return err
+	}
+
+	rd, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	storeHash := sha256.New()
+	if err := rd.RenderCSV(storeHash); err != nil {
+		return err
+	}
+	want, got := directHash.Sum(nil), storeHash.Sum(nil)
+	if string(want) != string(got) {
+		return fmt.Errorf("store CSV diverges from the direct path: sha256 %x, want %x", got, want)
+	}
+
+	// The aggregate document must survive its own serialization and
+	// describe exactly the campaign that ran.
+	doc := rd.Doc()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	reread, err := store.ReadDoc(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("aggregate document round-trip: %w", err)
+	}
+	if reread.Trials != totalRows || !reread.Sealed || len(reread.Bits) != width {
+		return fmt.Errorf("aggregate document mismatch: %d trials over %d bits (sealed=%v), want %d over %d",
+			reread.Trials, len(reread.Bits), reread.Sealed, totalRows, width)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke ok: %d trials, %d bits, store %d bytes, csv sha256 %x, heap sys %d MiB, %v\n",
+		totalRows, width, st.Size(), got, ms.HeapSys/(1<<20), time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -24,44 +24,101 @@ import (
 	"path/filepath"
 )
 
-// WriteFile atomically writes the output of write to path with mode
-// 0o644. write receives a buffered writer backed by a temporary file
-// in path's directory; if write or any flush/sync/rename step fails,
-// the temporary file is removed and the final path is untouched (a
-// previous file at path, if any, survives intact).
-func WriteFile(path string, write func(w io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+// PendingFile is an in-progress atomic write: a temporary file in the
+// destination's directory that becomes the destination only on Commit.
+// It exists for writers that stream an artifact over an extended span
+// — the columnar trial store appends blocks for the whole life of a
+// campaign before sealing — where the closure style of WriteFile would
+// force buffering everything in memory. Until Commit succeeds the
+// final path is untouched; Abort (idempotent, safe after Commit)
+// removes the temporary file, so a crash or error path leaves at most
+// an orphaned dot-prefixed temp, never a torn artifact.
+type PendingFile struct {
+	f       *os.File
+	path    string // final destination
+	tmpName string // temp file currently holding the payload
+	done    bool   // committed or aborted
+}
+
+// Create opens a pending write targeting path. The temporary file
+// lives in path's directory so the final rename stays within one
+// filesystem (and therefore atomic).
+func Create(path string) (*PendingFile, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("atomicio: temp for %s: %w", path, err)
+		return nil, fmt.Errorf("atomicio: temp for %s: %w", path, err)
 	}
-	tmpName := tmp.Name()
-	// Any early return before the rename must leave no temp debris.
+	return &PendingFile{f: tmp, path: path, tmpName: tmp.Name()}, nil
+}
+
+// Write implements io.Writer, appending to the pending payload.
+func (p *PendingFile) Write(b []byte) (int, error) { return p.f.Write(b) }
+
+// Offset reports how many bytes of payload have been written — the
+// position the next Write lands at. Writers that build an index of
+// their own output (the store's footer) use it instead of counting.
+func (p *PendingFile) Offset() (int64, error) { return p.f.Seek(0, io.SeekCurrent) }
+
+// Commit makes the pending payload durable at the final path: fsync,
+// chmod to the artifact mode 0o644, close, rename over path, fsync
+// the directory. On any failure the temporary file is removed and the
+// final path is untouched. After Commit the PendingFile is spent.
+func (p *PendingFile) Commit() error {
+	if p.done {
+		return fmt.Errorf("atomicio: commit %s: already committed or aborted", p.path)
+	}
+	p.done = true
 	fail := func(step string, err error) error {
-		_ = tmp.Close()        // best effort: the step error is the one worth reporting
-		_ = os.Remove(tmpName) // ditto
-		return fmt.Errorf("atomicio: %s %s: %w", step, path, err)
+		_ = p.f.Close()          // best effort: the step error is the one worth reporting
+		_ = os.Remove(p.tmpName) // ditto
+		return fmt.Errorf("atomicio: %s %s: %w", step, p.path, err)
 	}
-	if err := write(tmp); err != nil {
-		return fail("write", err)
-	}
-	if err := tmp.Sync(); err != nil {
+	if err := p.f.Sync(); err != nil {
 		return fail("fsync", err)
 	}
 	// CreateTemp uses 0o600; artifacts are world-readable like any
 	// os.Create output.
-	if err := tmp.Chmod(0o644); err != nil {
+	if err := p.f.Chmod(0o644); err != nil {
 		return fail("chmod", err)
 	}
-	if err := tmp.Close(); err != nil {
-		_ = os.Remove(tmpName) // best effort
-		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	if err := p.f.Close(); err != nil {
+		_ = os.Remove(p.tmpName) // best effort
+		return fmt.Errorf("atomicio: close %s: %w", p.path, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		_ = os.Remove(tmpName) // best effort
-		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	if err := os.Rename(p.tmpName, p.path); err != nil {
+		_ = os.Remove(p.tmpName) // best effort
+		return fmt.Errorf("atomicio: rename %s: %w", p.path, err)
 	}
-	return syncDir(dir)
+	return syncDir(filepath.Dir(p.path))
+}
+
+// Abort discards the pending payload, leaving the final path as it
+// was. Safe to call more than once and after Commit (both no-ops), so
+// callers can defer it unconditionally.
+func (p *PendingFile) Abort() {
+	if p.done {
+		return
+	}
+	p.done = true
+	_ = p.f.Close()          // best effort: nothing to report on a discard
+	_ = os.Remove(p.tmpName) // ditto
+}
+
+// WriteFile atomically writes the output of write to path with mode
+// 0o644. write receives a writer backed by a temporary file in path's
+// directory; if write or any flush/sync/rename step fails, the
+// temporary file is removed and the final path is untouched (a
+// previous file at path, if any, survives intact).
+func WriteFile(path string, write func(w io.Writer) error) error {
+	p, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(p); err != nil {
+		p.Abort()
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	return p.Commit()
 }
 
 // WriteFileBytes atomically writes data to path with mode 0o644.

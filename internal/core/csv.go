@@ -97,6 +97,31 @@ func appendTrialRow(dst []byte, tr *Trial) []byte {
 	return append(dst, '\n')
 }
 
+// AppendTrialHeader appends the CSV header row (trailing newline
+// included) to dst. Together with AppendTrialRow it lets external
+// renderers — the columnar store serving GET /results — reproduce
+// WriteTrialsCSV's output byte-for-byte without materializing a
+// []Trial slab.
+func AppendTrialHeader(dst []byte) []byte {
+	for i, h := range trialHeader {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, h...)
+	}
+	return append(dst, '\n')
+}
+
+// AppendTrialRow appends one trial as a CSV row (trailing newline
+// included), exactly as WriteTrialsCSV encodes it.
+func AppendTrialRow(dst []byte, tr *Trial) []byte { return appendTrialRow(dst, tr) }
+
+// CSVFlushAt is the row-buffer flush threshold WriteTrialsCSV uses;
+// external renderers built on AppendTrialRow adopt the same bound so
+// streaming behavior (not bytes — flush boundaries are invisible in
+// the output) matches the direct path.
+const CSVFlushAt = csvFlushAt
+
 // WriteTrialsCSV streams trials to w as CSV with a header row.
 //
 // Rows are encoded into a reused byte buffer with the strconv.Append
@@ -107,13 +132,7 @@ func appendTrialRow(dst []byte, tr *Trial) []byte {
 // byte-identical to encoding/csv.
 func WriteTrialsCSV(w io.Writer, trials []Trial) error {
 	buf := make([]byte, 0, csvFlushAt+512)
-	for i, h := range trialHeader {
-		if i > 0 {
-			buf = append(buf, ',')
-		}
-		buf = append(buf, h...)
-	}
-	buf = append(buf, '\n')
+	buf = AppendTrialHeader(buf)
 	for i := range trials {
 		buf = appendTrialRow(buf, &trials[i])
 		if len(buf) >= csvFlushAt {

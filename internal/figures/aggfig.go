@@ -1,0 +1,70 @@
+package figures
+
+// Aggregate-driven builders: figures rendered from precomputed per-bit
+// aggregates (a store footer or a positres-aggregate/v1 document)
+// instead of trial slabs. Everything here is O(series×bits) — no
+// campaign is run and no trial row is ever scanned, which is what lets
+// positreport render the per-bit curves of a 10⁷-trial campaign from a
+// few kilobytes of summary.
+
+import (
+	"fmt"
+
+	"positres/internal/core"
+	"positres/internal/textplot"
+)
+
+// AggSeries converts per-bit aggregates into a named mean-relative-
+// error series, the paper's Fig. 10 metric.
+func AggSeries(name string, aggs []core.BitAgg) textplot.Series {
+	return meanRelSeries(name, aggs)
+}
+
+// AggChart assembles a Fig. 10-style per-bit mean relative error chart
+// from precomputed series.
+func AggChart(title string, series []textplot.Series) *textplot.LineChart {
+	return &textplot.LineChart{
+		Title:  title,
+		XLabel: "bit position (0 = LSB)",
+		YLabel: "mean relative error",
+		LogY:   true,
+		Height: 24,
+		Series: series,
+	}
+}
+
+// AggSummaryRow is one input to AggSummaryTable: a source label and
+// its per-bit aggregates.
+type AggSummaryRow struct {
+	// Source labels the row (a file name, a campaign id, ...).
+	Source string
+	// Aggs holds the per-bit aggregates, ascending by bit.
+	Aggs []core.BitAgg
+}
+
+// AggSummaryTable tabulates aggregate inputs: total trials and
+// catastrophic count, the covered bit span, and the worst bit position
+// by mean relative error.
+func AggSummaryTable(rows []AggSummaryRow) *textplot.Table {
+	t := &textplot.Table{Header: []string{
+		"source", "trials", "catastrophic", "bits", "worst bit", "mean rel err @worst",
+	}}
+	for _, row := range rows {
+		var trials, catastrophic, worstBit int
+		worst := -1.0
+		for _, a := range row.Aggs {
+			trials += a.Trials
+			catastrophic += a.Catastrophic
+			if a.MeanRelErr > worst {
+				worst, worstBit = a.MeanRelErr, a.Bit
+			}
+		}
+		span := "-"
+		if n := len(row.Aggs); n > 0 {
+			span = fmt.Sprintf("%d..%d", row.Aggs[0].Bit, row.Aggs[n-1].Bit)
+		}
+		t.AddRow(row.Source, fmt.Sprintf("%d", trials), fmt.Sprintf("%d", catastrophic),
+			span, fmt.Sprintf("%d", worstBit), fmt.Sprintf("%.3g", worst))
+	}
+	return t
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"positres/internal/artifact"
 )
 
 // JSONSchema tags every -format json report.
@@ -67,8 +69,8 @@ func ReadJSON(r io.Reader) (*JSONReport, error) {
 	if err := json.NewDecoder(r).Decode(&rep); err != nil {
 		return nil, fmt.Errorf("lint: decode report: %w", err)
 	}
-	if rep.Schema != JSONSchema {
-		return nil, fmt.Errorf("lint: report schema %q, want %q", rep.Schema, JSONSchema)
+	if err := artifact.CheckSchema(rep.Schema, JSONSchema); err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
 	}
 	return &rep, nil
 }

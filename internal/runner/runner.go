@@ -86,6 +86,17 @@ type Config struct {
 	// happens (progress reporting, crash injection in the e2e test).
 	// It is called serially.
 	OnShardDone func(st ShardStatus)
+	// Sink, when non-nil, receives every completed shard's trials —
+	// fresh and journal-resumed alike — as the campaign runs, and the
+	// Report's Results carry Trials == nil (identity, N, Baseline and
+	// Elapsed stay populated). This is how campaign-scale runs stay in
+	// bounded memory: trials stream into an append-only store instead
+	// of accumulating per-spec slabs. Appends happen serially, after
+	// the shard is journaled (the journal stays the durability source,
+	// so a sink failure costs the shard, not the campaign — the shard
+	// is reported failed and a Resume run can replay it). A
+	// store.CampaignWriter satisfies this interface.
+	Sink ShardSink
 	// Metrics, when non-nil, receives shard lifecycle counts, the
 	// shard latency histogram, retry/backoff tallies and worker busy
 	// time as the run progresses; it is also propagated to the core
@@ -138,6 +149,16 @@ func (cfg *Config) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// ShardSink consumes completed shards' trials as a campaign runs.
+// AppendShard is called serially, once per completed shard, with the
+// shard's half-open bit range; every trial carries the (field, codec)
+// identity and a bit within [bitLo, bitHi). An error fails that shard
+// (not the campaign) — the journal remains authoritative, so the
+// shard is replayable by a Resume run.
+type ShardSink interface {
+	AppendShard(field, codec string, bitLo, bitHi int, trials []core.Trial) error
+}
+
 // SpecsOf expands a validated campaign spec into its (field, codec)
 // matrix: the Fields × Formats cross product in declaration order,
 // with format names canonicalized through the registry. This is the
@@ -164,7 +185,9 @@ type Report struct {
 	// Results is index-aligned with Specs. A spec whose shards all
 	// completed (freshly or from the journal) gets an assembled
 	// *core.Result with trials in bit order; a spec with failed or
-	// skipped shards gets nil.
+	// skipped shards gets nil. When Config.Sink is set the trials
+	// streamed out as the campaign ran, so Result.Trials is nil and
+	// the sink (typically a store) holds the rows.
 	Results []*core.Result
 	// Shards lists every shard outcome in deterministic (spec, bit)
 	// order.
@@ -247,6 +270,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	type slot struct {
 		status ShardStatus
 		trials []core.Trial
+		sunk   bool // trials delivered to cfg.Sink; the slab is released
 	}
 	slots := make([]slot, len(shards))
 	for i, sh := range shards {
@@ -255,10 +279,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			slots[i].status.State = ShardResumed
 			slots[i].status.Attempts = meta.Attempts
 			slots[i].status.DurationNS = meta.DurationNS
-			slots[i].trials = trials
+			if c.Sink != nil {
+				// Journal-resumed shards flow through the sink too, so a
+				// resumed campaign's store is as complete as a fresh one.
+				if serr := c.Sink.AppendShard(sh.Field, sh.Codec, sh.BitLo, sh.BitHi, trials); serr != nil {
+					slots[i].status.State = ShardFailed
+					slots[i].status.Error = fmt.Sprintf("sink: %v", serr)
+				} else {
+					slots[i].sunk = true
+				}
+			} else {
+				slots[i].trials = trials
+			}
 			// Attempts = 1: the retries happened in the previous run
 			// and were counted by that run's metrics.
-			c.Metrics.ObserveShard(ShardResumed, 0, 1)
+			c.Metrics.ObserveShard(slots[i].status.State, 0, 1)
 		}
 	}
 	statuses := make([]ShardStatus, len(slots))
@@ -306,9 +341,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					slots[i].trials = trials
 				}
 				c.Metrics.AddWorkerBusy(time.Since(busyStart))
+				mu.Lock()
+				if c.Sink != nil && slots[i].status.State == ShardDone {
+					// Journal first (above), sink second: durability is
+					// already settled, so a sink failure only fails this
+					// shard and a Resume run replays it into a new store.
+					if serr := c.Sink.AppendShard(sh.Field, sh.Codec, sh.BitLo, sh.BitHi, slots[i].trials); serr != nil {
+						slots[i].status.State = ShardFailed
+						slots[i].status.Error = fmt.Sprintf("sink: %v", serr)
+					} else {
+						slots[i].sunk = true
+					}
+					slots[i].trials = nil // the slab is the sink's problem now
+				}
 				c.Metrics.ObserveShard(slots[i].status.State,
 					slots[i].status.Duration(), slots[i].status.Attempts)
-				mu.Lock()
 				if c.OnShardDone != nil {
 					c.OnShardDone(slots[i].status)
 				}
@@ -350,7 +397,9 @@ feed:
 		}
 	}
 
-	// Assemble per-spec results from shard trials, in bit order.
+	// Assemble per-spec results from shard trials, in bit order. With a
+	// Sink the trials already streamed out shard by shard, so the
+	// Result keeps identity, baseline and timing but carries no slab.
 	for si, sp := range specs {
 		var parts []slot
 		complete := true
@@ -358,7 +407,7 @@ feed:
 			if sh.Spec != sp {
 				continue
 			}
-			if slots[i].trials == nil {
+			if slots[i].trials == nil && !slots[i].sunk {
 				complete = false
 				break
 			}
@@ -368,14 +417,19 @@ feed:
 			continue
 		}
 		sort.Slice(parts, func(a, b int) bool { return parts[a].status.BitLo < parts[b].status.BitLo })
-		total := 0
-		for _, p := range parts {
-			total += len(p.trials)
+		var trials []core.Trial
+		if c.Sink == nil {
+			total := 0
+			for _, p := range parts {
+				total += len(p.trials)
+			}
+			trials = make([]core.Trial, 0, total) // one exact allocation, not append-doubling
 		}
-		trials := make([]core.Trial, 0, total) // one exact allocation, not append-doubling
 		var elapsed time.Duration
 		for _, p := range parts {
-			trials = append(trials, p.trials...)
+			if c.Sink == nil {
+				trials = append(trials, p.trials...)
+			}
 			elapsed += p.status.Duration()
 		}
 		data, err := cache.get(sp)

@@ -18,9 +18,11 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"positres/internal/spec"
+	"positres/internal/store"
 )
 
 // CampaignStatus is the body of GET /v1/campaigns/{id} (and of the
@@ -130,9 +132,29 @@ func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statusOf(j))
 }
 
-// handleCampaignResults serves GET /v1/campaigns/{id}/results,
-// streaming one (field, format) CSV. Both query parameters may be
-// omitted when the campaign published exactly one result.
+// acceptsAggregate reports whether the Accept header asks for the
+// JSON aggregate view of a result instead of the CSV rows. Only an
+// explicit application/json (or +json) request switches — absent,
+// wildcard and text/csv headers keep the original CSV behavior, so
+// every pre-negotiation client sees byte-identical responses.
+func acceptsAggregate(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "application/json" || strings.HasSuffix(mt, "+json") {
+			return true
+		}
+	}
+	return false
+}
+
+// handleCampaignResults serves GET /v1/campaigns/{id}/results —
+// one (field, format) result under content negotiation. The default
+// (and any text/csv Accept) streams the trial rows as CSV, rendered
+// from the columnar store in block-bounded memory and byte-identical
+// to core.WriteTrialsCSV; "Accept: application/json" answers with the
+// positres-aggregate/v1 per-bit summary instead, O(bits) with no
+// trial scan. Both query parameters may be omitted when the campaign
+// published exactly one result.
 func (s *Server) handleCampaignResults(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookupJob(w, r)
 	if !ok {
@@ -180,6 +202,34 @@ func (s *Server) handleCampaignResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	wantAggregate := acceptsAggregate(r.Header.Get("Accept"))
+	rd, err := store.Open(filepath.Join(j.dir, store.FileName(ref.Field, ref.Format)))
+	if err == nil {
+		defer func() {
+			if cerr := rd.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "positserve: result close:", cerr)
+			}
+		}()
+		if wantAggregate {
+			writeJSON(w, http.StatusOK, rd.Doc())
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		if rerr := rd.RenderCSV(w); rerr != nil {
+			// Headers are committed; all we can do is log the broken pipe.
+			fmt.Fprintln(os.Stderr, "positserve: result stream:", rerr)
+		}
+		return
+	}
+
+	// No store file: a legacy CSV published by an older server. It has
+	// no footer aggregates, so only the CSV representation exists.
+	if wantAggregate {
+		writeError(w, http.StatusConflict, codeNotReady,
+			"campaign %s predates the columnar store; only the CSV representation is available", st.ID)
+		return
+	}
 	f, err := os.Open(filepath.Join(j.dir, csvName(ref.Field, ref.Format)))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, codeInternal, "open result: %v", err)

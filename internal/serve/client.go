@@ -24,6 +24,7 @@ import (
 	"positres/internal/core"
 	"positres/internal/runner"
 	"positres/internal/spec"
+	"positres/internal/store"
 	"positres/internal/wire"
 )
 
@@ -307,6 +308,56 @@ func (c *Client) resultOnce(ctx context.Context, path string, w io.Writer) (int6
 		return n, fmt.Errorf("positserve client: results: %w", err)
 	}
 	return n, nil
+}
+
+// FetchAggregate fetches one published result's per-bit aggregate
+// summary (GET /v1/campaigns/{id}/results with Accept:
+// application/json) as a validated positres-aggregate/v1 document.
+// The transfer is O(bits) regardless of campaign size — the server
+// answers from the store footer, never rescanning trials. A campaign
+// published by a pre-store server has no aggregates; the server
+// answers 409 not_ready and that surfaces here as an *APIError.
+// Retries follow the client's policy, like any GET.
+func (c *Client) FetchAggregate(ctx context.Context, id, field, format string) (*store.AggregateDoc, error) {
+	path := fmt.Sprintf("/v1/campaigns/%s/results?field=%s&format=%s", id, field, format)
+	attempts := c.attempts()
+	for attempt := 1; ; attempt++ {
+		doc, err := c.aggregateOnce(ctx, path)
+		if err == nil || attempt >= attempts || !retryable(err, true) {
+			return doc, err
+		}
+		if serr := c.pause(ctx, "GET "+path, attempt, err); serr != nil {
+			return nil, err
+		}
+	}
+}
+
+// aggregateOnce is one attempt of FetchAggregate. The Content-Type
+// switch mirrors RunShardStats: only a JSON answer is parsed as an
+// aggregate document; anything else (an old server ignoring Accept
+// and streaming CSV) is an explicit error, never misparsed data.
+func (c *Client) aggregateOnce(ctx context.Context, path string) (*store.AggregateDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: aggregate: %w", err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: aggregate: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		return nil, fmt.Errorf("positserve client: aggregate: server answered %q, not application/json (pre-negotiation server?)", ct)
+	}
+	doc, err := store.ReadDoc(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("positserve client: aggregate: %w", err)
+	}
+	return doc, nil
 }
 
 // RegisterWorker announces a worker to a coordinator

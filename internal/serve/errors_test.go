@@ -14,6 +14,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"positres/internal/store"
 )
 
 func TestErrorEnvelopeEveryCode(t *testing.T) {
@@ -46,7 +48,7 @@ func TestErrorEnvelopeEveryCode(t *testing.T) {
 	drainedTS := httptest.NewServer(drained.Handler())
 	defer drainedTS.Close()
 
-	// internal: complete a campaign, then delete its published CSV out
+	// internal: complete a campaign, then delete its published store out
 	// from under the results handler.
 	var done CampaignStatus
 	if resp := postJSON(t, ts.URL+"/v1/campaigns?wait=1", tinyCampaign, &done); resp.StatusCode != http.StatusOK {
@@ -56,7 +58,7 @@ func TestErrorEnvelopeEveryCode(t *testing.T) {
 	if !ok || len(done.Results) != 1 {
 		t.Fatalf("job %s: ok=%v results=%v", done.ID, ok, done.Results)
 	}
-	if err := os.Remove(filepath.Join(j.dir, csvName(done.Results[0].Field, done.Results[0].Format))); err != nil {
+	if err := os.Remove(filepath.Join(j.dir, store.FileName(done.Results[0].Field, done.Results[0].Format))); err != nil {
 		t.Fatal(err)
 	}
 

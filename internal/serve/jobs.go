@@ -16,7 +16,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -30,6 +29,7 @@ import (
 	"positres/internal/core"
 	"positres/internal/runner"
 	"positres/internal/spec"
+	"positres/internal/store"
 	"positres/internal/telemetry"
 )
 
@@ -95,7 +95,11 @@ type job struct {
 	counts     ShardCounts
 	results    []ResultRef
 	cancel     context.CancelFunc // non-nil only while running
-	done       chan struct{}
+	// cw is the live trial store the campaign streams into; non-nil
+	// only while running. /metrics reads its O(specs×bits) aggregate
+	// snapshot for the mid-campaign dashboard section.
+	cw   *store.CampaignWriter
+	done chan struct{}
 }
 
 // stateDir is the runner state directory of the job.
@@ -377,6 +381,11 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Trials stream shard by shard into a columnar store in the job
+	// directory instead of accumulating in memory; the store also
+	// maintains the per-bit aggregates /metrics serves live.
+	cw := store.NewCampaignWriter(j.dir)
+
 	j.mu.Lock()
 	if j.state != jobQueued { // cancelled while waiting in the queue
 		j.mu.Unlock()
@@ -385,6 +394,7 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 	j.state = jobRunning
 	j.startedAt = time.Now()
 	j.cancel = cancel
+	j.cw = cw
 	j.mu.Unlock()
 
 	rcfg := runner.Config{
@@ -393,6 +403,7 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 		Resume:      j.resume,
 		Workers:     s.campaignWorkers,
 		Metrics:     s.metrics,
+		Sink:        cw,
 		OnShardDone: func(st runner.ShardStatus) { s.observeShard(j, st) },
 	}
 	if s.executeFor != nil {
@@ -402,6 +413,7 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 	}
 	rep, err := runner.Run(jctx, rcfg)
 	if err != nil {
+		cw.Abort()
 		s.finishJob(j, jobFailed, err.Error(), nil)
 		return
 	}
@@ -417,10 +429,16 @@ func (s *jobStore) runJob(ctx context.Context, j *job) {
 	j.mu.Unlock()
 
 	if rep.Cancelled {
+		// The journal holds the completed shards; the next run rebuilds
+		// the store from it, so the half-written one is just discarded.
+		cw.Abort()
 		s.finishJob(j, jobCancelled, "", nil)
 		return
 	}
-	results, err := publishResults(j.dir, j.id, rep)
+	results, err := publishResults(j.id, rep, cw)
+	// Discard stores of specs that did not publish (failed shards in a
+	// partial campaign); Seal already committed the published ones.
+	cw.Abort()
 	if err != nil {
 		s.finishJob(j, jobFailed, err.Error(), nil)
 		return
@@ -456,26 +474,51 @@ func (s *jobStore) finishJob(j *job, state, errMsg string, results []ResultRef) 
 	j.errMsg = errMsg
 	j.finishedAt = time.Now()
 	j.cancel = nil
+	j.cw = nil
 	if results != nil {
 		j.results = results
 	}
 	close(j.done)
 }
 
-// publishResults writes one CSV per completed (field, format) result
-// into the job directory, atomically, and returns the refs in spec
-// order. Partial campaigns publish only their completed specs.
-func publishResults(dir, id string, rep *runner.Report) ([]ResultRef, error) {
+// liveAggregates snapshots every running campaign's per-spec aggregate
+// documents for /metrics, sorted by job id. O(jobs×specs×bits) — no
+// trial data is touched, so the cost is flat regardless of campaign
+// size.
+func (s *jobStore) liveAggregates() []campaignAggregates {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	var out []campaignAggregates
+	for _, j := range jobs {
+		j.mu.Lock()
+		cw := j.cw
+		j.mu.Unlock()
+		if cw == nil {
+			continue
+		}
+		out = append(out, campaignAggregates{ID: j.id, Aggregates: cw.Snapshot()})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// publishResults seals one store file per completed (field, format)
+// result and returns the refs in spec order. Partial campaigns publish
+// only their completed specs. Sealing commits the pending file to its
+// final .pts path atomically — the CSV representation is rendered from
+// it on demand by the results handler, byte-identical to the old
+// write-the-CSV path.
+func publishResults(id string, rep *runner.Report, cw *store.CampaignWriter) ([]ResultRef, error) {
 	var refs []ResultRef
 	for i, res := range rep.Results {
 		if res == nil {
 			continue
 		}
-		path := filepath.Join(dir, csvName(res.Field, res.Codec))
-		err := atomicio.WriteFile(path, func(w io.Writer) error {
-			return core.WriteTrialsCSV(w, res.Trials)
-		})
-		if err != nil {
+		if err := cw.Seal(res.Field, res.Codec); err != nil {
 			return nil, fmt.Errorf("serve: publish result %d: %w", i, err)
 		}
 		refs = append(refs, ResultRef{Field: res.Field, Format: res.Codec, URL: resultURL(id, res.Field, res.Codec)})
@@ -614,13 +657,16 @@ func (s *jobStore) recoverOne(id string) (*job, bool, error) {
 	return j, true, nil
 }
 
-// existingResults checks for every spec's published CSV, returning
-// refs only when all are present.
+// existingResults checks for every spec's published result — a sealed
+// .pts store or a legacy CSV from an older server — returning refs
+// only when all are present.
 func existingResults(dir, id string, specs []runner.Spec) ([]ResultRef, bool) {
 	var refs []ResultRef
 	for _, sp := range specs {
-		if _, err := os.Stat(filepath.Join(dir, csvName(sp.Field, sp.Codec))); err != nil {
-			return nil, false
+		if _, err := os.Stat(filepath.Join(dir, store.FileName(sp.Field, sp.Codec))); err != nil {
+			if _, cerr := os.Stat(filepath.Join(dir, csvName(sp.Field, sp.Codec))); cerr != nil {
+				return nil, false
+			}
 		}
 		refs = append(refs, ResultRef{Field: sp.Field, Format: sp.Codec, URL: resultURL(id, sp.Field, sp.Codec)})
 	}

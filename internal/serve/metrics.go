@@ -9,8 +9,19 @@ package serve
 import (
 	"net/http"
 
+	"positres/internal/store"
 	"positres/internal/telemetry"
 )
+
+// campaignAggregates pairs a running campaign with the live per-spec
+// aggregate documents its trial store maintains at append time.
+type campaignAggregates struct {
+	// ID is the campaign id.
+	ID string `json:"id"`
+	// Aggregates holds one unsealed positres-aggregate/v1 document per
+	// (field, format) spec the campaign has started writing.
+	Aggregates []*store.AggregateDoc `json:"aggregates"`
+}
 
 // metricsResponse is the body of GET /metrics.
 type metricsResponse struct {
@@ -32,6 +43,11 @@ type metricsResponse struct {
 	// histograms and the reassignment count. Omitted entirely in
 	// single-node operation (no workers ever registered).
 	Cluster *telemetry.ClusterSnapshot `json:"cluster,omitempty"`
+	// CampaignAggregates holds the live per-bit aggregate summaries of
+	// every running campaign, straight from the trial stores' online
+	// aggregation — O(specs×bits) per campaign, no trial scan. Omitted
+	// when nothing is running.
+	CampaignAggregates []campaignAggregates `json:"campaign_aggregates,omitempty"`
 }
 
 // handleMetrics serves GET /metrics.
@@ -47,6 +63,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := s.clusterMetrics.Snapshot()
 		resp.Cluster = &snap
 	}
+	resp.CampaignAggregates = s.jobs.liveAggregates()
 	writeJSON(w, http.StatusOK, resp)
 }
 

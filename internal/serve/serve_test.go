@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"positres/internal/spec"
+	"positres/internal/store"
 )
 
 // tinyCampaign is a sub-second campaign body used across tests.
@@ -447,11 +448,11 @@ func TestRecovery(t *testing.T) {
 		t.Fatalf("recovered terminal job = %+v", got)
 	}
 
-	// Delete the published CSV (simulating a crash between manifest
+	// Delete the published store (simulating a crash between manifest
 	// completion and publication): a third server must re-enqueue the
 	// job, replay the journal, and republish identical bytes.
 	jobDir := filepath.Join(dir, "jobs", st.ID)
-	if err := os.Remove(filepath.Join(jobDir, "CESM_CLOUD_posit8.csv")); err != nil {
+	if err := os.Remove(filepath.Join(jobDir, store.FileName("CESM/CLOUD", "posit8"))); err != nil {
 		t.Fatal(err)
 	}
 	srv3, ts3 := newTestServer(t, Config{DataDir: dir})

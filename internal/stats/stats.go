@@ -96,6 +96,73 @@ func (m *moments) merge(o moments) {
 	}
 }
 
+// Moments is the exported face of the mergeable moment accumulator,
+// for callers that fold values in online (one Add per trial) rather
+// than over a materialized slice — the columnar store's per-bit
+// aggregates. Because Add is the same serial Welford update that
+// reduceMoments applies below parallelThreshold, a Moments fed values
+// in slice order reproduces Mean/Min/Max/Std bit-for-bit for inputs
+// under that threshold, and within Chan-merge reassociation error
+// above it. The zero value is NOT ready to use; call NewMoments.
+type Moments struct{ m moments }
+
+// NewMoments returns an empty accumulator (min +Inf, max -Inf).
+func NewMoments() Moments { return Moments{m: newMoments()} }
+
+// Add folds one value in. NaN and ±Inf are skipped, matching
+// Summarize's treatment of special values.
+func (a *Moments) Add(x float64) { a.m.add(x) }
+
+// Merge combines another accumulator into a, as if a had also seen
+// every value o saw (Chan et al. pairwise update, exact for count,
+// min and max; mean and variance reassociate).
+func (a *Moments) Merge(o Moments) { a.m.merge(o.m) }
+
+// N reports how many finite values have been folded in.
+func (a *Moments) N() int { return a.m.n }
+
+// Mean returns the running arithmetic mean (0 when empty, like the
+// zero moments struct; callers gate on N for the empty case).
+func (a *Moments) Mean() float64 { return a.m.mean }
+
+// Min returns the smallest value seen (+Inf when empty).
+func (a *Moments) Min() float64 { return a.m.min }
+
+// Max returns the largest value seen (-Inf when empty).
+func (a *Moments) Max() float64 { return a.m.max }
+
+// Std returns the running population standard deviation (NaN when
+// empty), matching Std over the same values.
+func (a *Moments) Std() float64 {
+	if a.m.n == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(a.m.m2 / float64(a.m.n))
+}
+
+// MomentsState is the portable content of a Moments accumulator, for
+// callers that persist aggregates (the columnar store's footer) and
+// must reconstruct the exact accumulator later. M2 is the running sum
+// of squared deviations — internal state, exposed only so a
+// round-trip through storage is lossless.
+type MomentsState struct {
+	// N counts the finite values folded in.
+	N int
+	// Mean, M2, Min and Max are the raw accumulator fields.
+	Mean, M2, Min, Max float64
+}
+
+// State exports the accumulator's content.
+func (a *Moments) State() MomentsState {
+	return MomentsState{N: a.m.n, Mean: a.m.mean, M2: a.m.m2, Min: a.m.min, Max: a.m.max}
+}
+
+// MomentsFromState reconstructs the accumulator State exported —
+// bit-for-bit, so persisted aggregates keep merging exactly.
+func MomentsFromState(s MomentsState) Moments {
+	return Moments{m: moments{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}}
+}
+
 // parallelThreshold is the array size below which reduction runs
 // serially (goroutine startup costs more than the work).
 const parallelThreshold = 1 << 16

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sync"
+
+	"positres/internal/atomicio"
+	"positres/internal/core"
+)
+
+// blockInfo is one footer index entry: where a block's bytes live and
+// which (bit range, row count) they carry, so a reader can serve rows
+// in bit order and seek without scanning.
+type blockInfo struct {
+	Offset int64 // file offset of the block's length prefix
+	Length int   // total block bytes (prefix + payload + CRC)
+	Rows   int   // trial rows in the block
+	BitLo  int   // first bit position covered (inclusive)
+	BitHi  int   // one past the last bit position covered (exclusive)
+}
+
+// Writer builds one .pts file: a header, one columnar block per
+// appended shard, and at Seal a footer indexing the blocks and
+// carrying the online aggregates. All bytes stream through an
+// atomicio.PendingFile, so the final path appears only on a
+// successful Seal; Abort (or a crash) leaves at most a temp file.
+// Writer is safe for concurrent use; the aggregates fold under the
+// same lock that orders the blocks.
+type Writer struct {
+	mu      sync.Mutex
+	pf      *atomicio.PendingFile
+	path    string
+	field   string
+	codec   string
+	headCRC uint32 // CRC-32 of the header bytes, sealed into the footer
+	blocks  []blockInfo
+	bits    map[int]*bitState
+	rows    uint64
+	done    bool  // sealed or aborted
+	err     error // first write failure; sticky, forces Abort
+
+	// Scratch reused across AppendShard calls so the steady-state
+	// append path stays at a few allocations per shard.
+	buf     []byte
+	nameIdx map[string]int
+	names   []string
+	rowIdx  []int
+}
+
+// NewWriter opens a pending store file at path for one (field, codec)
+// pair and writes its header. Callers must finish with Seal or Abort.
+func NewWriter(path, field, codec string) (*Writer, error) {
+	if len(field) > maxStringLen || len(codec) > maxStringLen {
+		return nil, fmt.Errorf("%w: field/codec name over %d bytes", ErrCorrupt, maxStringLen)
+	}
+	pf, err := atomicio.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		pf:      pf,
+		path:    path,
+		field:   field,
+		codec:   codec,
+		bits:    map[int]*bitState{},
+		nameIdx: map[string]int{},
+	}
+	hdr := append([]byte(fileMagic), Version)
+	hdr = appendString(hdr, field)
+	hdr = appendString(hdr, codec)
+	w.headCRC = crc32.ChecksumIEEE(hdr)
+	if _, err := pf.Write(hdr); err != nil {
+		pf.Abort()
+		return nil, fmt.Errorf("store: header %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// Field returns the dataset field key the store holds.
+func (w *Writer) Field() string { return w.field }
+
+// Codec returns the number format the store holds.
+func (w *Writer) Codec() string { return w.codec }
+
+// Rows returns the trial rows appended so far.
+func (w *Writer) Rows() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rows
+}
+
+// AppendShard encodes one shard's trials as a columnar block and
+// folds them into the per-bit aggregates. Every trial must carry the
+// writer's (field, codec) and a bit within [bitLo, bitHi) — the
+// half-open shard range convention internal/runner uses; violations are append errors, not
+// silent corruption. After any error the writer is spent: further
+// appends fail and Seal aborts.
+func (w *Writer) AppendShard(bitLo, bitHi int, trials []core.Trial) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return fmt.Errorf("%w: %s", ErrSealed, w.path)
+	}
+	if w.err != nil {
+		return w.err
+	}
+	offset, err := w.pf.Offset()
+	if err != nil {
+		w.err = fmt.Errorf("store: offset %s: %w", w.path, err)
+		return w.err
+	}
+	buf, err := w.appendBlock(w.buf[:0], bitLo, bitHi, trials)
+	w.buf = buf[:0] // keep the grown capacity even on error
+	if err != nil {
+		return err // encoding rejected the input; the file is still clean
+	}
+	if _, err := w.pf.Write(buf); err != nil {
+		w.err = fmt.Errorf("store: block %s: %w", w.path, err)
+		return w.err
+	}
+	w.blocks = append(w.blocks, blockInfo{
+		Offset: offset,
+		Length: len(buf),
+		Rows:   len(trials),
+		BitLo:  bitLo,
+		BitHi:  bitHi,
+	})
+	for i := range trials {
+		tr := &trials[i]
+		st := w.bits[tr.Bit]
+		if st == nil {
+			st = newBitState()
+			w.bits[tr.Bit] = st
+		}
+		st.fold(tr)
+	}
+	w.rows += uint64(len(trials))
+	return nil
+}
+
+// appendBlock validates trials against the shard invariants and
+// appends their columnar block encoding to dst: a length prefix, the
+// block payload (magic, column count, bit range, bit-field name
+// table, then each column contiguously) and the payload's CRC-32.
+func (w *Writer) appendBlock(dst []byte, bitLo, bitHi int, trials []core.Trial) ([]byte, error) {
+	if bitLo < 0 || bitHi <= bitLo {
+		return nil, fmt.Errorf("%w: bit range [%d, %d)", ErrCorrupt, bitLo, bitHi)
+	}
+	// First pass: shard invariants and the block's name vocabulary.
+	clear(w.nameIdx)
+	w.names = w.names[:0]
+	w.rowIdx = w.rowIdx[:0]
+	for i := range trials {
+		tr := &trials[i]
+		if tr.Field != w.field || tr.Codec != w.codec {
+			return nil, fmt.Errorf("%w: mixed (field, codec) in one store: (%s, %s) vs (%s, %s)",
+				ErrCorrupt, tr.Field, tr.Codec, w.field, w.codec)
+		}
+		if tr.Bit < bitLo || tr.Bit >= bitHi {
+			return nil, fmt.Errorf("%w: trial bit %d outside shard range [%d, %d)",
+				ErrCorrupt, tr.Bit, bitLo, bitHi)
+		}
+		j, ok := w.nameIdx[tr.FieldName]
+		if !ok {
+			j = len(w.names)
+			if j >= maxNames {
+				return nil, fmt.Errorf("%w: more than %d distinct bit-field names", ErrCorrupt, maxNames)
+			}
+			if len(tr.FieldName) > maxStringLen {
+				return nil, fmt.Errorf("%w: bit-field name over %d bytes", ErrCorrupt, maxStringLen)
+			}
+			w.nameIdx[tr.FieldName] = j
+			w.names = append(w.names, tr.FieldName)
+		}
+		w.rowIdx = append(w.rowIdx, j)
+	}
+
+	// Payload, then patch the length prefix and append the CRC —
+	// wire.AppendFrame's framing, column-major inside.
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix placeholder
+	p := len(dst)                 // payload start
+	dst = append(dst, blockMagic...)
+	dst = append(dst, byte(len(trialWireHeader)))
+	dst = binary.AppendUvarint(dst, uint64(bitLo))
+	dst = binary.AppendUvarint(dst, uint64(bitHi))
+	dst = binary.AppendUvarint(dst, uint64(len(w.names)))
+	for _, nm := range w.names {
+		dst = appendString(dst, nm)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(trials)))
+	for i := range trials {
+		dst = binary.AppendUvarint(dst, uint64(trials[i].Bit))
+	}
+	for i := range trials {
+		dst = binary.AppendUvarint(dst, uint64(trials[i].Seq))
+	}
+	for i := range trials {
+		dst = binary.AppendUvarint(dst, uint64(trials[i].Index))
+	}
+	for i := range trials {
+		dst = binary.AppendUvarint(dst, trials[i].OrigBits)
+	}
+	for i := range trials {
+		dst = binary.AppendUvarint(dst, trials[i].FaultyBits)
+	}
+	for i := range trials {
+		meta := byte(w.rowIdx[i]) << 1
+		if trials[i].Catastrophic {
+			meta |= 1
+		}
+		dst = append(dst, meta)
+	}
+	for i := range trials {
+		dst = binary.AppendVarint(dst, int64(trials[i].RegimeK))
+	}
+	dst = appendFloatColumn(dst, trials, func(tr *core.Trial) float64 { return tr.OrigValue })
+	dst = appendFloatColumn(dst, trials, func(tr *core.Trial) float64 { return tr.ReprValue })
+	dst = appendFloatColumn(dst, trials, func(tr *core.Trial) float64 { return tr.FaultyVal })
+	dst = appendFloatColumn(dst, trials, func(tr *core.Trial) float64 { return tr.AbsErr })
+	dst = appendFloatColumn(dst, trials, func(tr *core.Trial) float64 { return tr.RelErr })
+	crc := crc32.ChecksumIEEE(dst[p:])
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(dst)-p))
+	return dst, nil
+}
+
+// appendFloatColumn appends one float64 column as raw little-endian
+// bit patterns — lossless, like the wire format's fixed row tail.
+func appendFloatColumn(dst []byte, trials []core.Trial, get func(*core.Trial) float64) []byte {
+	var fixed [8]byte
+	for i := range trials {
+		binary.LittleEndian.PutUint64(fixed[:], math.Float64bits(get(&trials[i])))
+		dst = append(dst, fixed[:]...)
+	}
+	return dst
+}
+
+// BitAggs snapshots the live per-bit aggregates, sorted by bit — the
+// mid-campaign view /metrics serves. O(bits), never rescans trials.
+func (w *Writer) BitAggs() []core.BitAgg {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return finalizeBits(w.bits)
+}
+
+// Doc snapshots the live aggregates as an unsealed aggregate
+// document.
+func (w *Writer) Doc() *AggregateDoc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return newDoc(w.field, w.codec, false, finalizeBits(w.bits))
+}
+
+// Seal writes the footer (block index + aggregates), the locating
+// trailer, and commits the file to its final path. After Seal the
+// writer is spent.
+func (w *Writer) Seal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return fmt.Errorf("%w: %s", ErrSealed, w.path)
+	}
+	if w.err != nil {
+		w.done = true
+		w.pf.Abort()
+		return w.err
+	}
+	w.done = true
+	buf := appendFooter(w.buf[:0], w.headCRC, w.blocks, w.rows, w.bits)
+	w.buf = buf[:0]
+	// Trailer: the footer frame's byte span plus the end magic, so a
+	// reader finds the footer by seeking 8 bytes from EOF.
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(buf)))
+	buf = append(buf, endMagic...)
+	if _, err := w.pf.Write(buf); err != nil {
+		w.pf.Abort()
+		return fmt.Errorf("store: footer %s: %w", w.path, err)
+	}
+	return w.pf.Commit()
+}
+
+// Abort discards the pending file. Safe to call after Seal (no-op),
+// so callers can defer it unconditionally.
+func (w *Writer) Abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return
+	}
+	w.done = true
+	w.pf.Abort()
+}

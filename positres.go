@@ -34,6 +34,7 @@ import (
 	"positres/internal/serve"
 	"positres/internal/spec"
 	"positres/internal/stats"
+	"positres/internal/store"
 	"positres/internal/telemetry"
 	"positres/internal/textplot"
 )
@@ -256,4 +257,45 @@ var (
 	// NewServeClient dials a positserve instance (coordinator or
 	// worker).
 	NewServeClient = serve.NewClient
+)
+
+// The columnar trial store and its aggregate documents: the durable,
+// bounded-memory representation of campaign results (docs/STORE.md).
+// A store renders its rows as CSV byte-identical to WriteTrialsCSV
+// and carries O(fields×bits) online aggregates in its footer, which
+// is also what the results API serves as positres-aggregate/v1 JSON.
+type (
+	// TrialStoreWriter appends trial shards to one .pts column store,
+	// folding every row into the footer aggregates as it goes.
+	TrialStoreWriter = store.Writer
+	// TrialStoreReader reads a sealed .pts store: rows (as CSV),
+	// blocks, and the footer aggregates — without loading trials.
+	TrialStoreReader = store.Reader
+	// CampaignStoreWriter manages one TrialStoreWriter per
+	// (field, format) pair of a campaign; it is the runner.Config.Sink
+	// the service and CLI plug in.
+	CampaignStoreWriter = store.CampaignWriter
+	// AggregateDoc is the positres-aggregate/v1 summary document
+	// served by GET /v1/campaigns/{id}/results under
+	// Accept: application/json.
+	AggregateDoc = store.AggregateDoc
+	// AggregateBitSummary is one bit position's entry in an
+	// AggregateDoc.
+	AggregateBitSummary = store.BitSummary
+)
+
+var (
+	// OpenTrialStore opens a sealed .pts store for reading.
+	OpenTrialStore = store.Open
+	// NewTrialStoreWriter creates a .pts store for one (field, codec).
+	NewTrialStoreWriter = store.NewWriter
+	// NewCampaignStoreWriter creates a per-campaign store directory
+	// writer, suitable as a RunnerConfig.Sink.
+	NewCampaignStoreWriter = store.NewCampaignWriter
+	// TrialStoreFileName is the canonical .pts file name for a
+	// (field, format) pair.
+	TrialStoreFileName = store.FileName
+	// ReadAggregateDoc parses and schema-checks a
+	// positres-aggregate/v1 JSON document.
+	ReadAggregateDoc = store.ReadDoc
 )

@@ -3,12 +3,16 @@
 #
 # Runs every gate in order and fails fast: formatting, vet, build,
 # positlint (including a self-test that the linter still fires on its
-# fixtures), the positbench smoke (archived as artifacts/BENCH_PR9.json),
-# the wire-decoder fuzz smoke, the positload chaos smoke, the short
-# test suite, the race-detector pass, and the e2e battery —
-# kill-and-resume campaign, kill-and-restart positserve, dead-worker
-# cluster fan-out, and the chaos-and-soak load run. Each step prints a
-# banner so failures are attributable at a glance.
+# fixtures), the positbench smoke (archived as artifacts/BENCH_PR10.json,
+# with an informational trajectory print against the committed
+# baseline), the wire and store fuzz smokes, the bounded-memory
+# columnar-store smoke (a 10⁷-trial campaign under GOMEMLIMIT whose
+# store-rendered CSV must hash identically to the direct encoder), the
+# positload chaos smoke, the short test suite, the race-detector pass,
+# and the e2e battery — kill-and-resume campaign, kill-and-restart
+# positserve, dead-worker cluster fan-out, and the chaos-and-soak load
+# run. Each step prints a banner so failures are attributable at a
+# glance.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -68,19 +72,38 @@ echo "fixtures trip as expected"
 
 banner "positbench smoke: benchmark driver runs and emits a valid baseline"
 mkdir -p artifacts
-$GO run ./cmd/positbench -smoke -out artifacts/BENCH_PR9.json >/dev/null
-grep -q '"schema": "positres-bench/v1"' artifacts/BENCH_PR9.json || {
+bench_compare=""
+if [ -f BENCH_PR9.json ]; then
+	# Informational trajectory print against the committed previous
+	# baseline; perf gating stays human judgement (docs/PERF.md).
+	bench_compare="-compare BENCH_PR9.json"
+fi
+# shellcheck disable=SC2086 # bench_compare is intentionally word-split
+$GO run ./cmd/positbench -smoke -out artifacts/BENCH_PR10.json $bench_compare
+grep -q '"schema": "positres-bench/v1"' artifacts/BENCH_PR10.json || {
 	echo "positbench baseline missing schema tag"
 	exit 1
 }
-grep -q '"name": "wire_encode_shard"' artifacts/BENCH_PR9.json || {
+grep -q '"name": "wire_encode_shard"' artifacts/BENCH_PR10.json || {
 	echo "positbench baseline missing the wire codec benches"
 	exit 1
 }
-echo "ok (archived as artifacts/BENCH_PR9.json)"
+grep -q '"name": "store_append_shard"' artifacts/BENCH_PR10.json || {
+	echo "positbench baseline missing the columnar store benches"
+	exit 1
+}
+echo "ok (archived as artifacts/BENCH_PR10.json)"
 
 banner "wire fuzz smoke: 5s over the binary frame decoder"
 $GO test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/wire/
+
+banner "store fuzz smoke: 5s each over the .pts footer index and opener"
+$GO test -run '^$' -fuzz FuzzFooterIndex -fuzztime 5s ./internal/store/
+$GO test -run '^$' -fuzz FuzzOpen -fuzztime 5s ./internal/store/
+
+banner "store smoke: 10M-trial campaign, bounded memory, CSV byte-identical"
+GOMEMLIMIT=256MiB $GO run ./cmd/positstore smoke \
+	-format posit16 -n 1000000 -trials 625000 -bits-per-shard 1
 
 banner "go test -short ./..."
 $GO test -short ./...
